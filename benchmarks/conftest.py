@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harnesses.
+
+The full (workload x system) sweep is simulated once per cache key and
+shared by every benchmark through the disk cache in
+``repro.experiments.runner``; ``REPRO_INSTRUCTIONS`` / ``REPRO_WORKLOADS``
+scale the sweep, ``REPRO_FRESH=1`` forces re-simulation.
+"""
+
+import pytest
+
+from repro.experiments.runner import get_matrix
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """The shared simulation sweep (cached on disk)."""
+    return get_matrix()
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,13 @@
+"""§I ablation: low-reuse region bypassing."""
+
+from conftest import run_once
+from repro.experiments import ablation_bypass
+
+
+def test_ablation_bypass(benchmark):
+    results = run_once(benchmark, ablation_bypass.main)
+    # The mechanism fires on the streaming workloads and never causes a
+    # meaningful regression (its point is avoiding L1 pollution).
+    assert any(r["bypassed_reads"] > 0 for r in results.values())
+    for workload, r in results.items():
+        assert r["speedup"] > 0.98, workload

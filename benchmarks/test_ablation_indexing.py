@@ -1,0 +1,12 @@
+"""§IV-D ablation: dynamic indexing vs power-of-two strides."""
+
+from conftest import run_once
+from repro.experiments import ablation_indexing
+
+
+def test_ablation_indexing(benchmark):
+    results = run_once(benchmark, ablation_indexing.main)
+    lu = results["lu"]
+    # Paper shape: scrambled indexing removes LU's conflict misses.
+    assert lu["miss_scrambled"] < lu["miss_plain"]
+    assert lu["speedup"] > 1.0

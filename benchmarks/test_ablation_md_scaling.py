@@ -1,0 +1,12 @@
+"""Footnote-5 ablation: metadata store scaling (1x/2x/4x)."""
+
+from conftest import run_once
+from repro.experiments import ablation_md_scaling
+
+
+def test_ablation_md_scaling(benchmark):
+    results = run_once(benchmark, ablation_md_scaling.main)
+    # Paper shape: returns diminish — 4x buys little over 1x, and the
+    # direct-access fraction never decreases with more metadata.
+    assert results[4]["direct_fraction"] >= results[1]["direct_fraction"] - 0.02
+    assert abs(results[4]["speedup"] - results[1]["speedup"]) < 0.10

@@ -1,0 +1,15 @@
+"""Appendix: coherence-event frequencies per kilo memory operation."""
+
+from conftest import run_once
+from repro.experiments import appendix_pkmo
+
+
+def test_appendix_pkmo(benchmark, matrix):
+    rates = run_once(benchmark, appendix_pkmo.main, matrix)
+    # Paper shape: reads dominate (A is the most frequent event), private
+    # writes beat shared writes (B > C), and the direct events A+B cover
+    # the large majority of misses (paper ~90 %).
+    assert rates["A"] > rates["B"] > 0
+    assert rates["B"] > rates["C"]
+    free = appendix_pkmo.directory_free_fraction(rates)
+    assert free > 0.6

@@ -1,0 +1,13 @@
+"""Figure 5: network traffic (msgs per kilo-instruction) per system."""
+
+from conftest import run_once
+from repro.experiments import fig5_traffic
+
+
+def test_fig5_traffic(benchmark, matrix):
+    summary = run_once(benchmark, fig5_traffic.main, matrix)
+    # Shape: the near-side D2M variants must not exceed the far-side
+    # baseline's traffic on the geometric mean, and NS-R must be the
+    # cheapest D2M variant.
+    assert summary["D2M-NS-R"] <= summary["D2M-FS"] + 0.05
+    assert summary["D2M-NS-R"] < 1.10  # at worst about Base-2L parity

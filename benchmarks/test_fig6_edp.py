@@ -1,0 +1,12 @@
+"""Figure 6: cache-hierarchy EDP normalized to Base-2L."""
+
+from conftest import run_once
+from repro.experiments import fig6_edp
+
+
+def test_fig6_edp(benchmark, matrix):
+    summary = run_once(benchmark, fig6_edp.main, matrix)
+    # Paper shape: D2M-NS-R has the best EDP; clearly below Base-2L.
+    assert summary["D2M-NS-R"] < 1.0
+    assert summary["D2M-NS-R"] <= min(summary["D2M-FS"],
+                                      summary["Base-2L"]) + 1e-9

@@ -1,0 +1,11 @@
+"""§II-A: metadata lookup coverage (MD1 vs MD2 vs MD3)."""
+
+from conftest import run_once
+from repro.experiments import md1_coverage
+
+
+def test_md1_coverage(benchmark, matrix):
+    cov = run_once(benchmark, md1_coverage.main, matrix)
+    # Paper/D2D: the first-level metadata covers ~98.8 % of accesses.
+    for category, c in cov.items():
+        assert c["md1"] > 0.9, category

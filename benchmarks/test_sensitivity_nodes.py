@@ -1,0 +1,11 @@
+"""Node-count sensitivity of the D2M advantage."""
+
+from conftest import run_once
+from repro.experiments import sensitivity_nodes
+
+
+def test_sensitivity_nodes(benchmark):
+    results = run_once(benchmark, sensitivity_nodes.main)
+    # D2M-NS-R keeps a non-trivial advantage at every machine size.
+    for nodes, r in results.items():
+        assert r["speedup"] > 1.0, nodes

@@ -1,0 +1,10 @@
+"""Table I: the LI encoding table (structural; no simulation)."""
+
+from conftest import run_once
+from repro.experiments import structural_tables
+
+
+def test_table1_li_encoding(benchmark):
+    output = run_once(benchmark, structural_tables.table1)
+    assert "Location Information" in output
+    assert "LLC5[2]" in output  # the near-side 1NNNWW reinterpretation

@@ -1,0 +1,10 @@
+"""Table II: region classification from Presence Bits (structural)."""
+
+from conftest import run_once
+from repro.experiments import structural_tables
+
+
+def test_table2_classification(benchmark):
+    output = run_once(benchmark, structural_tables.table2)
+    for cls in ("uncached", "untracked", "private", "shared"):
+        assert cls in output

@@ -1,0 +1,10 @@
+"""Table III: the modeled system parameters (structural)."""
+
+from conftest import run_once
+from repro.experiments import structural_tables
+
+
+def test_table3_config(benchmark):
+    output = run_once(benchmark, structural_tables.table3)
+    for name in ("Base-2L", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R"):
+        assert name in output

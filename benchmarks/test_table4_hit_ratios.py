@@ -1,0 +1,19 @@
+"""Table IV: L1 miss/late ratios and next-level hit ratios per suite."""
+
+from conftest import run_once
+from repro.experiments import table4_hit_ratios
+
+
+def test_table4_hit_ratios(benchmark, matrix):
+    summary = run_once(benchmark, table4_hit_ratios.main, matrix)
+    db = summary["Database"]
+    mobile = summary["Mobile"]
+    hpc = summary["HPC"]
+    # Paper shape: Database has by far the highest instruction-miss
+    # pressure, Mobile next; HPC has essentially none.
+    assert db["l1i_miss"] > mobile["l1i_miss"] > hpc["l1i_miss"]
+    assert hpc["l1i_miss"] < 0.01
+    # Replication lifts the near-side instruction ratio (paper 43->84).
+    avg_ns = sum(s["ns_i"] for s in summary.values()) / len(summary)
+    avg_nsr = sum(s["nsr_i"] for s in summary.values()) / len(summary)
+    assert avg_nsr >= avg_ns

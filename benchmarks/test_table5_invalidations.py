@@ -1,0 +1,14 @@
+"""Table V: received invalidations vs Base-2L and private-miss fraction."""
+
+from conftest import run_once
+from repro.experiments import table5_invalidations
+
+
+def test_table5_invalidations(benchmark, matrix):
+    avg_private = run_once(benchmark, table5_invalidations.main, matrix)
+    # Paper: 68 % of misses are to private regions on average, and the
+    # Server mixes (disjoint processes) are fully private.
+    assert avg_private > 0.4
+    for workload, row in matrix.items():
+        if row["D2M-NS-R"].category == "Server":
+            assert row["D2M-NS-R"].private_miss_fraction > 0.95, workload

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Define a custom workload and sweep a D2M design knob with it.
+
+Shows the extension points a downstream user needs: building a
+`WorkloadSpec` from the stream primitives, running it directly (without
+registering it), and sweeping a policy knob — here the NS-LLC local-
+allocation fraction of paper §IV-B.
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+from dataclasses import replace
+
+from repro.common.params import d2m_ns
+from repro.core.hierarchy import build_hierarchy
+from repro.sim.perf import PerfModel
+from repro.sim.simulator import Simulator
+from repro.workloads.base import (
+    CodeModel,
+    DataMix,
+    SHARED_BASE,
+    SyntheticWorkload,
+    WorkloadSpec,
+    private_base,
+)
+from repro.workloads.synthetic import SequentialStream, ZipfStream
+
+
+def key_value_store() -> WorkloadSpec:
+    """A toy partitioned key-value store: each core owns a shard (hot,
+    private) and replies from a shared read-mostly index."""
+
+    def shard(core: int, cores: int, rng: random.Random):
+        del cores, rng
+        # Skewed shards: cores 0-1 serve hot partitions with working sets
+        # far beyond their slice, the rest are lightly loaded — exactly
+        # the imbalance the pressure policy (paper §IV-B) arbitrates.
+        size = 6 * 1024 * 1024 if core < 2 else 96 * 1024
+        return ZipfStream(private_base(core), size, alpha=0.7,
+                          write_frac=0.3)
+
+    def index(core: int, cores: int, rng: random.Random):
+        del core, cores, rng
+        return SequentialStream(SHARED_BASE, 64 * 1024, stride=64,
+                                write_frac=0.01)
+
+    return WorkloadSpec(
+        name="kvstore",
+        category="Custom",
+        code=CodeModel(footprint=96 * 1024, hot_fraction=0.9,
+                       warm_fraction=0.07),
+        data=DataMix([(0.75, shard), (0.25, index)]),
+        mem_ratio=0.5,
+        description="partitioned KV store: private shards + shared index",
+    )
+
+
+def run_workload_demo(instructions: int = 60_000) -> None:
+    """Run the custom workload on D2M-NS and print its profile."""
+    config = d2m_ns()
+    hierarchy = build_hierarchy(config)
+    workload = SyntheticWorkload(key_value_store(), config.nodes,
+                                 hierarchy.amap, seed=7)
+    result = Simulator(hierarchy).run(workload, instructions, seed=7,
+                                      warmup=instructions // 2)
+    perf = PerfModel(config.ooo).summarize(result)
+    msgs = 1000.0 * hierarchy.network.total_messages / result.instructions
+    print(f"kvstore on D2M-NS: {perf.cycles:.0f} cycles, "
+          f"{msgs:.1f} msgs/KI, "
+          f"L1-D miss {result.miss_ratio(False):.1%}, "
+          f"local NS data hits {result.ns_hit_ratio(False):.0%}")
+
+
+def policy_demo() -> None:
+    """Drive the §IV-B pressure policy directly under skewed pressure."""
+    from repro.core.llc import NearSideLLC
+
+    print("\nNS-LLC allocation policy under skewed slice pressure")
+    print("(node 0 pressured 10x; 10000 allocation decisions by node 0)")
+    print(f"\n{'local fraction':>15s}{'-> allocated locally':>22s}")
+    for fraction in (0.0, 0.5, 0.8, 1.0):
+        config = replace(
+            d2m_ns(),
+            policy=replace(d2m_ns().policy,
+                           ns_local_alloc_fraction=fraction),
+        )
+        llc = NearSideLLC(config, seed=42)
+        llc._pressures = [100] + [10] * (config.nodes - 1)
+        picks = [llc.pick_slice(0) for _ in range(10_000)]
+        local = sum(1 for p in picks if p == 0) / len(picks)
+        print(f"{fraction:15.0%}{local:22.0%}")
+    print("\nWith the paper's 80/20 split a pressured node still keeps "
+          "most\nfills local (cheap re-hits) but sheds a fifth to the "
+          "least-pressured\nremote slice.")
+
+
+def main() -> None:
+    run_workload_demo()
+    policy_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Near-side LLC demo on an instruction-heavy workload (paper §IV-B/C).
+
+Runs the OLTP-style ``tpcc`` workload (2.5 MB instruction footprint) on
+the three D2M variants and the two baselines, showing how moving the LLC
+slices to the core side of the NoC and replicating instructions turns
+far-side LLC round trips into local-slice hits — the paper's biggest
+single result (+28 % for Database).
+
+Run:  python examples/nearside_replication.py
+"""
+
+from repro.common.params import all_configs
+from repro.common.types import HitLevel
+from repro.sim.runner import run_workload
+
+
+def main() -> None:
+    workload = "tpcc"
+    instructions = 120_000
+    print(f"Simulating {workload!r} ({instructions} instructions) on all "
+          f"five systems ...\n")
+
+    print(f"{'system':10s}{'speedup':>9s}{'msg/KI':>8s}{'EDP':>7s}"
+          f"{'nsI':>6s}{'nsD':>6s}{'I at LLC':>10s}{'I at MEM':>10s}")
+    base_cycles = base_edp = None
+    for config in all_configs():
+        out = run_workload(config, workload, instructions=instructions)
+        if base_cycles is None:
+            base_cycles, base_edp = out.perf.cycles, out.edp
+        r = out.result
+        llc_i = (r.bucket(True, HitLevel.LLC_LOCAL).count
+                 + r.bucket(True, HitLevel.LLC_REMOTE).count
+                 + r.bucket(True, HitLevel.L2).count)
+        mem_i = r.bucket(True, HitLevel.MEMORY).count
+        print(f"{config.name:10s}"
+              f"{(base_cycles / out.perf.cycles - 1) * 100:+8.1f}%"
+              f"{out.msgs_per_ki:8.0f}"
+              f"{out.edp / base_edp:7.2f}"
+              f"{r.ns_hit_ratio(True) * 100:5.0f}%"
+              f"{r.ns_hit_ratio(False) * 100:5.0f}%"
+              f"{llc_i:10d}{mem_i:10d}")
+
+    print("\nnsI/nsD: fraction of LLC-level hits served by the node's own")
+    print("slice.  D2M-NS-R replicates instructions into the local slice,")
+    print("turning remote LLC round trips (~49 cycles) into local hits")
+    print("(~17 cycles) with zero NoC messages - the near-side slice acts")
+    print("as a large private L2, exactly the paper's Database story.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on two systems and compare them.
+
+Builds the paper's Base-2L baseline and the D2M-NS-R split hierarchy,
+runs the synthetic ``bodytrack`` workload through both, and prints the
+headline metrics (miss ratios, traffic, latency, EDP).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.params import base_2l, d2m_ns_r
+from repro.sim.runner import run_workload
+
+
+def main() -> None:
+    workload = "bodytrack"          # any name from repro.workloads
+    instructions = 120_000          # total across the 8 simulated cores
+
+    print(f"Simulating {workload!r} for {instructions} instructions ...\n")
+    outcomes = {}
+    for config in (base_2l(), d2m_ns_r()):
+        outcomes[config.name] = run_workload(config, workload,
+                                             instructions=instructions)
+
+    base = outcomes["Base-2L"]
+    d2m = outcomes["D2M-NS-R"]
+    rows = [
+        ("L1-D miss ratio", "{:.2%}", lambda o: o.result.miss_ratio(False)),
+        ("L1-I miss ratio", "{:.2%}", lambda o: o.result.miss_ratio(True)),
+        ("avg L1-miss latency (cyc)", "{:.1f}",
+         lambda o: o.avg_l1_miss_latency),
+        ("NoC messages / 1000 instr", "{:.1f}", lambda o: o.msgs_per_ki),
+        ("cache-hierarchy energy (uJ)", "{:.2f}",
+         lambda o: o.cache_energy_pj / 1e6),
+        ("execution time (k cycles)", "{:.1f}",
+         lambda o: o.perf.cycles / 1e3),
+    ]
+    print(f"{'metric':32s}{'Base-2L':>12s}{'D2M-NS-R':>12s}")
+    for name, fmt, get in rows:
+        print(f"{name:32s}{fmt.format(get(base)):>12s}"
+              f"{fmt.format(get(d2m)):>12s}")
+
+    speedup = base.perf.cycles / d2m.perf.cycles
+    edp = d2m.edp / base.edp
+    print(f"\nD2M-NS-R speedup over Base-2L: {(speedup - 1) * 100:+.1f}%")
+    print(f"D2M-NS-R cache-hierarchy EDP:  {edp:.2f}x Base-2L")
+    print(f"misses to private regions:     "
+          f"{d2m.private_miss_fraction:.0%}")
+
+
+if __name__ == "__main__":
+    main()

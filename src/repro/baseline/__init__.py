@@ -1,0 +1,13 @@
+"""Baseline tag-based hierarchies: Base-2L and Base-3L (Figure 4a/4b)."""
+
+from repro.baseline.hierarchy import BaselineHierarchy
+from repro.baseline.directory import Directory, DirectoryEntry
+from repro.baseline.cache import LineCopy, NodeCaches
+
+__all__ = [
+    "BaselineHierarchy",
+    "Directory",
+    "DirectoryEntry",
+    "LineCopy",
+    "NodeCaches",
+]

@@ -1,0 +1,88 @@
+"""Full-map MESI directory embedded with the inclusive LLC.
+
+One :class:`DirectoryEntry` exists per LLC-resident line (inclusive LLC:
+a line cached in any node must be in the LLC, so the directory never
+loses track).  The entry records the sharer set and the owning node when
+a node holds the line exclusively (E or M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.common.errors import InvariantViolation
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharers and owner for one line."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    @property
+    def is_uncached(self) -> bool:
+        return not self.sharers and self.owner is None
+
+    def check(self, line: int) -> None:
+        if self.owner is not None and self.sharers - {self.owner}:
+            raise InvariantViolation(
+                f"line {line:#x}: owner {self.owner} coexists with sharers "
+                f"{sorted(self.sharers)}"
+            )
+
+
+class Directory:
+    """Sharer/owner tracking for every LLC-resident line."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, line: int) -> DirectoryEntry:
+        """The entry for ``line``, creating an empty one if needed."""
+        ent = self._entries.get(line)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[line] = ent
+        return ent
+
+    def peek(self, line: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line)
+
+    # -- transitions --------------------------------------------------------
+
+    def add_sharer(self, line: int, node: int) -> None:
+        ent = self.entry(line)
+        ent.sharers.add(node)
+        if ent.owner is not None and ent.owner != node:
+            raise InvariantViolation(
+                f"line {line:#x}: adding sharer {node} while node {ent.owner} owns it"
+            )
+        ent.check(line)
+
+    def set_owner(self, line: int, node: int) -> None:
+        ent = self.entry(line)
+        ent.sharers = {node}
+        ent.owner = node
+        ent.check(line)
+
+    def clear_owner(self, line: int) -> None:
+        """Owner downgraded to sharer (kept a copy)."""
+        ent = self.entry(line)
+        ent.owner = None
+
+    def remove_node(self, line: int, node: int) -> None:
+        ent = self._entries.get(line)
+        if ent is None:
+            return
+        ent.sharers.discard(node)
+        if ent.owner == node:
+            ent.owner = None
+
+    def drop(self, line: int) -> Optional[DirectoryEntry]:
+        """Forget a line entirely (LLC eviction)."""
+        return self._entries.pop(line, None)
+
+    def tracked_lines(self) -> int:
+        return len(self._entries)

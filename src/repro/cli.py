@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — available systems and workloads.
+* ``run`` — simulate one (system, workload) pair and print its summary.
+* ``report`` — regenerate a paper artifact (fig5/fig6/fig7/table4/...).
+* ``sweep`` — populate the shared run matrix cache up front.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.common.params import SystemConfig, all_configs
+from repro.sim.runner import run_workload
+from repro.workloads.registry import get_spec, workload_names, workloads_by_category
+
+#: artifact name -> experiment module (lazily imported)
+ARTIFACTS = {
+    "fig5": "fig5_traffic",
+    "fig6": "fig6_edp",
+    "fig7": "fig7_speedup",
+    "table4": "table4_hit_ratios",
+    "table5": "table5_invalidations",
+    "appendix": "appendix_pkmo",
+    "coverage": "md1_coverage",
+    "tables": "structural_tables",
+    "ablation-md": "ablation_md_scaling",
+    "ablation-indexing": "ablation_indexing",
+    "ablation-bypass": "ablation_bypass",
+    "sensitivity-nodes": "sensitivity_nodes",
+    "full": "report",
+}
+
+
+def _configs_by_cli_name() -> Dict[str, SystemConfig]:
+    return {config.name.lower(): config for config in all_configs()}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    print("systems:")
+    for config in all_configs():
+        print(f"  {config.name}")
+    print("\nworkloads:")
+    for category, names in workloads_by_category().items():
+        print(f"  {category}: {', '.join(names)}")
+    print("\nartifacts:", ", ".join(sorted(ARTIFACTS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    configs = _configs_by_cli_name()
+    config = configs.get(args.config.lower())
+    if config is None:
+        print(f"unknown system {args.config!r}; pick from "
+              f"{sorted(configs)}", file=sys.stderr)
+        return 2
+    try:
+        get_spec(args.workload)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    outcome = run_workload(config, args.workload,
+                           instructions=args.instructions, seed=args.seed,
+                           check_values=args.check)
+    result = outcome.result
+    print(f"{args.workload} on {config.name} "
+          f"({result.instructions} instructions)")
+    rows = [
+        ("cycles", f"{outcome.perf.cycles:,.0f}"),
+        ("CPI", f"{outcome.perf.cpi:.2f}"),
+        ("L1-I miss ratio", f"{result.miss_ratio(True):.2%}"),
+        ("L1-D miss ratio", f"{result.miss_ratio(False):.2%}"),
+        ("avg L1-miss latency", f"{outcome.avg_l1_miss_latency:.1f} cyc"),
+        ("NoC messages / KI", f"{outcome.msgs_per_ki:.1f}"),
+        ("  of which D2M-only", f"{outcome.d2m_msgs_per_ki:.1f}"),
+        ("cache energy", f"{outcome.cache_energy_pj / 1e6:.2f} uJ"),
+        ("EDP", f"{outcome.edp:.3e} pJ*cyc"),
+    ]
+    if config.is_d2m:
+        rows.append(("private misses",
+                     f"{outcome.private_miss_fraction:.0%}"))
+        rows.append(("NS hits I/D",
+                     f"{result.ns_hit_ratio(True):.0%} / "
+                     f"{result.ns_hit_ratio(False):.0%}"))
+    for label, value in rows:
+        print(f"  {label:22s}{value}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    module_name = ARTIFACTS.get(args.artifact)
+    if module_name is None:
+        print(f"unknown artifact {args.artifact!r}; pick from "
+              f"{sorted(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    module.main()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import get_matrix
+
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",")]
+        for name in workloads:
+            get_spec(name)  # raise early on typos
+    matrix = get_matrix(workloads=workloads,
+                        instructions=args.instructions, seed=args.seed)
+    print(f"matrix ready: {len(matrix)} workloads x "
+          f"{len(next(iter(matrix.values())))} systems")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D2M split cache hierarchy (HPCA 2017) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available systems/workloads/artifacts")
+
+    run_p = sub.add_parser("run", help="simulate one system x workload")
+    run_p.add_argument("--config", default="d2m-ns-r",
+                       help="system name (e.g. base-2l, d2m-ns-r)")
+    run_p.add_argument("--workload", default="tpcc")
+    run_p.add_argument("--instructions", type=int, default=0,
+                       help="0 = REPRO_INSTRUCTIONS or the default budget")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--check", action="store_true",
+                       help="enable the sequential value oracle (slower)")
+
+    report_p = sub.add_parser("report", help="regenerate a paper artifact")
+    report_p.add_argument("artifact", help=f"one of {sorted(ARTIFACTS)}")
+
+    sweep_p = sub.add_parser("sweep", help="populate the run-matrix cache")
+    sweep_p.add_argument("--workloads", default="",
+                         help="comma-separated subset (default: all)")
+    sweep_p.add_argument("--instructions", type=int, default=0)
+    sweep_p.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+_HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Shared building blocks: access types, configuration, statistics, errors."""
+
+from repro.common.types import Access, AccessKind
+from repro.common.stats import StatGroup
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    InvariantViolation,
+    ProtocolError,
+)
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "StatGroup",
+    "ReproError",
+    "ConfigError",
+    "InvariantViolation",
+    "ProtocolError",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the package derive from :class:`ReproError` so that
+callers can catch simulator problems without masking unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class InvariantViolation(ReproError):
+    """A modeled hardware invariant was broken.
+
+    Raised by the invariant checkers (deterministic location information,
+    metadata inclusion, single master, private classification) and by the
+    sequential value checker when a read observes a stale value.
+    """
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached a state it cannot handle."""
+
+
+class TraceError(ReproError):
+    """A workload produced an access the simulator cannot interpret."""

@@ -1,0 +1,327 @@
+"""Configuration dataclasses for every modeled system.
+
+`SystemConfig` fully describes one simulated machine.  The five
+configurations evaluated in the paper are exposed as factory functions:
+
+* :func:`base_2l`   — L1s + shared far-side LLC with a MESI directory.
+* :func:`base_3l`   — adds a private 256 kB L2 per core.
+* :func:`d2m_fs`    — D2M with a far-side LLC.
+* :func:`d2m_ns`    — D2M with near-side LLC slices and the pressure
+  allocation policy.
+* :func:`d2m_ns_r`  — D2M-NS plus instruction/data replication and dynamic
+  index scrambling.
+
+All sizes are bytes unless a field name says otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigError
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class SystemKind(enum.Enum):
+    """Which hierarchy implementation a config instantiates."""
+
+    BASELINE = "baseline"
+    D2M = "d2m"
+
+
+class LLCPlacement(enum.Enum):
+    """Far-side (across the NoC) or near-side (sliced per node) LLC."""
+
+    FAR_SIDE = "far-side"
+    NEAR_SIDE = "near-side"
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative structure."""
+
+    size: int
+    ways: int
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        _require(self.size > 0, f"cache size must be positive: {self.size}")
+        _require(self.ways > 0, f"ways must be positive: {self.ways}")
+        _require(_is_pow2(self.line_size), "line size must be a power of two")
+        _require(
+            self.size % (self.ways * self.line_size) == 0,
+            f"size {self.size} not divisible by ways*line ({self.ways}x{self.line_size})",
+        )
+        _require(_is_pow2(self.sets), f"set count must be a power of two, got {self.sets}")
+
+    @property
+    def sets(self) -> int:
+        return self.size // (self.ways * self.line_size)
+
+    @property
+    def lines(self) -> int:
+        return self.size // self.line_size
+
+
+@dataclass(frozen=True)
+class MetadataGeometry:
+    """Geometry of one metadata store (regions, not bytes)."""
+
+    regions: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        _require(self.regions > 0, "regions must be positive")
+        _require(self.ways > 0, "ways must be positive")
+        _require(self.regions % self.ways == 0, "regions must divide by ways")
+        _require(_is_pow2(self.sets), f"MD set count must be a power of two, got {self.sets}")
+
+    @property
+    def sets(self) -> int:
+        return self.regions // self.ways
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Two-level TLB used by the baseline systems (D2M's MD1 replaces it)."""
+
+    l1_entries: int = 64
+    l2_entries: int = 1024
+    l1_ways: int = 4
+    l2_ways: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.l1_entries % self.l1_ways == 0, "L1 TLB entries/ways mismatch")
+        _require(self.l2_entries % self.l2_ways == 0, "L2 TLB entries/ways mismatch")
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Access latencies in cycles for each structure and transport."""
+
+    l1: int = 2
+    l2: int = 12
+    llc: int = 25          # serialized tag+directory (10) then data (15)
+    llc_data: int = 15     # data-array-only access (D2M direct reads)
+    noc: int = 16          # one-way traversal of the interconnect
+    memory: int = 120
+    md1: int = 0           # fully overlapped with the L1 pipeline stage
+    md2: int = 10
+    md3: int = 25
+    directory: int = 25
+    tlb_l1: int = 1
+    tlb_l2: int = 8
+
+
+@dataclass(frozen=True)
+class OoOModel:
+    """Analytic out-of-order core model for the speedup experiments.
+
+    Instruction-miss latency is exposed in full (the frontend stalls);
+    data-miss latency is partially hidden by the OoO window.
+    """
+
+    base_cpi: float = 0.8
+    data_hide_fraction: float = 0.6
+    instr_hide_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        _require(self.base_cpi > 0, "base CPI must be positive")
+        _require(0 <= self.data_hide_fraction < 1, "data hide fraction in [0,1)")
+        _require(0 <= self.instr_hide_fraction < 1, "instr hide fraction in [0,1)")
+
+
+@dataclass(frozen=True)
+class D2MPolicyConfig:
+    """Policy knobs for the D2M optimizations (paper §IV)."""
+
+    # NS-LLC allocation: if local pressure is higher than remote average,
+    # allocate locally with this probability (paper: 80 %).
+    ns_local_alloc_fraction: float = 0.8
+    # Pressure sampling window in accesses (paper: every 10 k cycles).
+    ns_pressure_window: int = 10_000
+    replicate_instructions: bool = False
+    replicate_mru_data: bool = False
+    dynamic_indexing: bool = False
+    # MD2 pruning heuristic (paper §IV-A): drop MD2 entries on invalidation
+    # when the region has no locally cached lines and no active MD1 entry.
+    md2_pruning: bool = True
+    scramble_bits: int = 4
+    # Cache bypassing (paper §I): regions whose lines see no L1 reuse stop
+    # installing into the L1 — data is still served from its LLC/memory
+    # location via the LI, so nothing else changes.
+    bypass_low_reuse: bool = False
+    bypass_min_installs: int = 8
+    bypass_reuse_threshold: float = 0.5
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated machine."""
+
+    name: str
+    kind: SystemKind
+    nodes: int = 8
+    line_size: int = 64
+    region_lines: int = 16
+    page_size: int = 4096
+
+    l1i: CacheGeometry = field(default_factory=lambda: CacheGeometry(32 * 1024, 8))
+    l1d: CacheGeometry = field(default_factory=lambda: CacheGeometry(32 * 1024, 8))
+    l2: CacheGeometry | None = None
+    llc: CacheGeometry = field(default_factory=lambda: CacheGeometry(8 * 1024 * 1024, 32))
+    llc_placement: LLCPlacement = LLCPlacement.FAR_SIDE
+
+    md1: MetadataGeometry = field(default_factory=lambda: MetadataGeometry(128, 8))
+    md2: MetadataGeometry = field(default_factory=lambda: MetadataGeometry(4096, 8))
+    md3: MetadataGeometry = field(default_factory=lambda: MetadataGeometry(16384, 16))
+    lock_bits: int = 1024
+
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    ooo: OoOModel = field(default_factory=OoOModel)
+    policy: D2MPolicyConfig = field(default_factory=D2MPolicyConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.nodes > 0, "need at least one node")
+        _require(_is_pow2(self.line_size), "line size must be a power of two")
+        _require(_is_pow2(self.region_lines), "region lines must be a power of two")
+        _require(_is_pow2(self.page_size), "page size must be a power of two")
+        _require(
+            self.region_size <= self.page_size,
+            "a region must not span pages (virtual and physical indexing must agree)",
+        )
+        for geom in (self.l1i, self.l1d, self.llc) + ((self.l2,) if self.l2 else ()):
+            _require(
+                geom.line_size == self.line_size,
+                "all caches must share the system line size",
+            )
+        if self.llc_placement is LLCPlacement.NEAR_SIDE:
+            _require(
+                self.llc.ways % self.nodes == 0,
+                "near-side LLC ways must divide evenly across nodes",
+            )
+            _require(
+                self.llc.size % self.nodes == 0,
+                "near-side LLC size must divide evenly across nodes",
+            )
+        if self.kind is SystemKind.D2M:
+            _require(_is_pow2(self.lock_bits), "lock bits must be a power of two")
+
+    # -- derived geometry ------------------------------------------------
+
+    @property
+    def region_size(self) -> int:
+        return self.region_lines * self.line_size
+
+    @property
+    def llc_slice(self) -> CacheGeometry:
+        """Geometry of one near-side LLC slice."""
+        if self.llc_placement is not LLCPlacement.NEAR_SIDE:
+            raise ConfigError(f"{self.name} has no near-side slices")
+        return CacheGeometry(
+            self.llc.size // self.nodes,
+            self.llc.ways // self.nodes,
+            self.line_size,
+        )
+
+    @property
+    def is_d2m(self) -> bool:
+        return self.kind is SystemKind.D2M
+
+    def with_md_scale(self, factor: int) -> "SystemConfig":
+        """Scale all metadata store capacities (footnote-5 ablation)."""
+        _require(factor >= 1, "MD scale factor must be >= 1")
+        return replace(
+            self,
+            name=f"{self.name}-md{factor}x",
+            md1=MetadataGeometry(self.md1.regions * factor, self.md1.ways),
+            md2=MetadataGeometry(self.md2.regions * factor, self.md2.ways),
+            md3=MetadataGeometry(self.md3.regions * factor, self.md3.ways),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Factory configurations (the five systems of the evaluation, Figure 4).
+# ---------------------------------------------------------------------------
+
+
+def base_2l(nodes: int = 8) -> SystemConfig:
+    """Base-2L: L1 caches + shared far-side LLC with a MESI directory."""
+    return SystemConfig(name="Base-2L", kind=SystemKind.BASELINE, nodes=nodes)
+
+
+def base_3l(nodes: int = 8) -> SystemConfig:
+    """Base-3L: Base-2L plus a private 256 kB 8-way L2 per core."""
+    return SystemConfig(
+        name="Base-3L",
+        kind=SystemKind.BASELINE,
+        nodes=nodes,
+        l2=CacheGeometry(256 * 1024, 8),
+    )
+
+
+def d2m_fs(nodes: int = 8) -> SystemConfig:
+    """D2M-FS: split hierarchy, far-side LLC, no optimizations."""
+    return SystemConfig(name="D2M-FS", kind=SystemKind.D2M, nodes=nodes)
+
+
+def d2m_ns(nodes: int = 8) -> SystemConfig:
+    """D2M-NS: near-side LLC slices with the pressure allocation policy."""
+    return SystemConfig(
+        name="D2M-NS",
+        kind=SystemKind.D2M,
+        nodes=nodes,
+        llc_placement=LLCPlacement.NEAR_SIDE,
+    )
+
+
+def d2m_ns_r(nodes: int = 8) -> SystemConfig:
+    """D2M-NS-R: D2M-NS plus replication heuristics and dynamic indexing."""
+    return SystemConfig(
+        name="D2M-NS-R",
+        kind=SystemKind.D2M,
+        nodes=nodes,
+        llc_placement=LLCPlacement.NEAR_SIDE,
+        policy=D2MPolicyConfig(
+            replicate_instructions=True,
+            replicate_mru_data=True,
+            dynamic_indexing=True,
+        ),
+    )
+
+
+def d2m_3l(nodes: int = 8) -> SystemConfig:
+    """Generic three-level D2M (Figure 2): private L2s under the LLC.
+
+    Not part of the paper's evaluation matrix (its D2M systems use the
+    L1 + LLC arrangement of Figure 4), but the architecture supports it
+    ("D2M can also be applied to architectures with different numbers of
+    levels and nodes"); exported for sensitivity studies.
+    """
+    return SystemConfig(
+        name="D2M-3L",
+        kind=SystemKind.D2M,
+        nodes=nodes,
+        l2=CacheGeometry(256 * 1024, 8),
+    )
+
+
+def all_configs(nodes: int = 8) -> tuple[SystemConfig, ...]:
+    """The five evaluated systems, in the paper's presentation order."""
+    return (
+        base_2l(nodes),
+        base_3l(nodes),
+        d2m_fs(nodes),
+        d2m_ns(nodes),
+        d2m_ns_r(nodes),
+    )

@@ -1,0 +1,97 @@
+"""Hierarchical statistics counters.
+
+Every component owns a :class:`StatGroup`; groups nest, counters are
+created on first use, and the whole tree can be flattened to a dict for
+reporting.  This keeps the simulators free of ad-hoc counter plumbing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping
+
+
+class StatGroup:
+    """A named group of counters with optional nested sub-groups."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._children: Dict[str, "StatGroup"] = {}
+
+    # -- counters ---------------------------------------------------------
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Increment ``counter`` by ``amount`` (creating it at zero)."""
+        self._counters[counter] += amount
+
+    def set(self, counter: str, value: float) -> None:
+        """Set ``counter`` to an absolute value."""
+        self._counters[counter] = value
+
+    def get(self, counter: str) -> float:
+        """Current value of ``counter`` (0.0 if never touched)."""
+        return self._counters.get(counter, 0.0)
+
+    def counters(self) -> Mapping[str, float]:
+        """Read-only view of this group's own counters."""
+        return dict(self._counters)
+
+    # -- children ----------------------------------------------------------
+
+    def child(self, name: str) -> "StatGroup":
+        """Return (creating if needed) the nested group ``name``."""
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def children(self) -> Mapping[str, "StatGroup"]:
+        return dict(self._children)
+
+    # -- aggregation -------------------------------------------------------
+
+    def total(self, counter: str) -> float:
+        """Sum of ``counter`` over this group and all descendants."""
+        value = self.get(counter)
+        for sub in self._children.values():
+            value += sub.total(counter)
+        return value
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` for this group, 0.0 when empty."""
+        denom = self.get(denominator)
+        return self.get(numerator) / denom if denom else 0.0
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate another group's counters (recursively) into this one."""
+        for key, value in other._counters.items():
+            self._counters[key] += value
+        for name, sub in other._children.items():
+            self.child(name).merge(sub)
+
+    def reset(self) -> None:
+        """Zero all counters in this group and its descendants."""
+        self._counters.clear()
+        for sub in self._children.values():
+            sub.reset()
+
+    # -- export --------------------------------------------------------------
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        """All counters in the tree as ``{'a.b.counter': value}``."""
+        label = f"{prefix}{self.name}" if self.name else prefix.rstrip(".")
+        out: Dict[str, float] = {}
+        for key, value in self._counters.items():
+            out[f"{label}.{key}" if label else key] = value
+        for sub in self._children.values():
+            out.update(sub.flatten(f"{label}." if label else ""))
+        return out
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __repr__(self) -> str:
+        return (
+            f"StatGroup({self.name!r}, counters={len(self._counters)}, "
+            f"children={list(self._children)})"
+        )

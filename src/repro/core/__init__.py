@@ -1,0 +1,15 @@
+"""D2M: the split metadata/data cache hierarchy (the paper's contribution)."""
+
+from repro.core.li import LI, LIKind
+from repro.core.regions import MD1Entry, MD2Entry, MD3Entry, RegionClass
+from repro.core.hierarchy import D2MHierarchy
+
+__all__ = [
+    "LI",
+    "LIKind",
+    "MD1Entry",
+    "MD2Entry",
+    "MD3Entry",
+    "RegionClass",
+    "D2MHierarchy",
+]

@@ -1,0 +1,77 @@
+"""Public face of a D2M machine.
+
+`D2MHierarchy` exposes the same driver interface as
+`repro.baseline.BaselineHierarchy` (``access``/``stats``/``energy``/
+``network``/``finalize``) so the simulator and all experiment harnesses
+treat the five evaluated systems uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import SystemConfig
+from repro.common.types import Access, AccessResult
+from repro.core.protocol import D2MProtocol
+
+
+class D2MHierarchy:
+    """A D2M machine (FS, NS, or NS-R depending on the config)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.protocol = D2MProtocol(config)
+
+    @property
+    def config(self) -> SystemConfig:
+        return self.protocol.config
+
+    @property
+    def amap(self):
+        return self.protocol.amap
+
+    @property
+    def stats(self):
+        return self.protocol.stats
+
+    @property
+    def events(self):
+        return self.protocol.events
+
+    @property
+    def energy(self):
+        return self.protocol.energy
+
+    @property
+    def network(self):
+        return self.protocol.network
+
+    @property
+    def memory(self):
+        return self.protocol.memory
+
+    @property
+    def nodes(self):
+        return self.protocol.nodes
+
+    @property
+    def llc(self):
+        return self.protocol.llc
+
+    @property
+    def md3(self):
+        return self.protocol.md3
+
+    def access(self, acc: Access, paddr: int, store_version: int = 0) -> AccessResult:
+        """Run one memory reference through the machine."""
+        return self.protocol.access(acc, paddr, store_version)
+
+    def finalize(self) -> None:
+        self.protocol.finalize()
+
+
+def build_hierarchy(config: SystemConfig):
+    """Instantiate the right hierarchy implementation for a config."""
+    from repro.common.params import SystemKind
+    from repro.baseline.hierarchy import BaselineHierarchy
+
+    if config.kind is SystemKind.D2M:
+        return D2MHierarchy(config)
+    return BaselineHierarchy(config)

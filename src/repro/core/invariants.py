@@ -1,0 +1,245 @@
+"""Whole-machine invariant checker for D2M (paper §II-B/§III).
+
+Called between accesses (the machine is quiescent), it walks every
+metadata and data structure and asserts:
+
+1. **Deterministic LI** — every valid LI in every node's active metadata
+   points at a slot that holds the named line (local arrays and LLC), or
+   at memory whose copy is current (no dirty master elsewhere), or at a
+   remote node that masters the line locally.
+2. **Metadata inclusion** — every line in a node's arrays belongs to a
+   region the node has an MD2 entry for; every MD1 entry has MD2 backing;
+   every MD2 entry's region is PB-marked in MD3; every LLC-resident
+   region is present in MD3.
+3. **Single master** — at most one MASTER-role slot exists per line
+   across all arrays, and MD3's LI for shared regions points at a master
+   (or memory).
+4. **Private classification** — a region marked private in a node is
+   PB-marked for exactly that node, and no other node holds metadata or
+   data for it.
+5. **Tracking closure** — every node-tracked LLC slot is reachable from
+   its tracking node (directly via LI or via the RP of a cached line).
+
+Expensive (walks everything); used by the test suite, not the benches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.common.errors import InvariantViolation
+from repro.core.datastore import DataLine, LineRole
+from repro.core.li import LI, LIKind
+from repro.core.protocol import D2MProtocol
+from repro.core.regions import ActiveSite
+
+
+def check_invariants(protocol: D2MProtocol) -> None:
+    """Raise :class:`InvariantViolation` on the first broken invariant."""
+    _check_metadata_structure(protocol)
+    _check_location_information(protocol)
+    _check_single_master(protocol)
+    _check_private_classification(protocol)
+    _check_tracking_closure(protocol)
+
+
+def _active_regions(node) -> Dict[int, object]:
+    """pregion -> active holder for every region the node tracks."""
+    out = {}
+    for pregion, _entry in node.md2:
+        out[pregion] = node.active_holder(pregion)
+    return out
+
+
+def _check_metadata_structure(protocol: D2MProtocol) -> None:
+    md3 = protocol.md3
+    for node in protocol.nodes:
+        # MD1 entries must have MD2 backing marked active at them.
+        for store, site in ((node.md1i, ActiveSite.MD1I),
+                            (node.md1d, ActiveSite.MD1D)):
+            for vregion, entry in store:
+                md2_entry = node.md2.lookup(entry.pregion, touch=False)
+                if md2_entry is None:
+                    raise InvariantViolation(
+                        f"node {node.node}: MD1 entry for region "
+                        f"{entry.pregion:#x} lacks MD2 backing"
+                    )
+                if md2_entry.active_in is not site or \
+                        md2_entry.tp_vregion != vregion:
+                    raise InvariantViolation(
+                        f"node {node.node}: MD2 tracking pointer for region "
+                        f"{entry.pregion:#x} does not name its MD1 entry"
+                    )
+        # Every MD2 entry's region must be PB-marked in MD3.
+        for pregion, _entry in node.md2:
+            md3_entry = md3.peek(pregion)
+            if md3_entry is None or node.node not in md3_entry.pb:
+                raise InvariantViolation(
+                    f"node {node.node}: region {pregion:#x} in MD2 but not "
+                    f"PB-marked in MD3"
+                )
+        # Metadata inclusion over the node's data arrays.
+        for array in node.arrays():
+            for _s, _w, slot in array:
+                if not node.has_region(slot.region):
+                    raise InvariantViolation(
+                        f"node {node.node}: line {slot.line:#x} cached "
+                        f"without MD2 metadata for its region"
+                    )
+    # LLC inclusion under MD3.
+    for _ref, slot in _llc_slots(protocol):
+        if protocol.md3.peek(slot.region) is None:
+            raise InvariantViolation(
+                f"LLC holds line {slot.line:#x} of region {slot.region:#x} "
+                f"absent from MD3"
+            )
+
+
+def _llc_slots(protocol: D2MProtocol):
+    llc = protocol.llc
+    if hasattr(llc, "slices"):
+        for owner, array in enumerate(llc.slices):
+            for set_idx, way, slot in array:
+                yield (owner, set_idx, way), slot
+    else:
+        for set_idx, way, slot in llc.array:
+            yield (None, set_idx, way), slot
+
+
+def _masters_by_line(protocol: D2MProtocol) -> Dict[int, List[tuple]]:
+    masters = defaultdict(list)
+    for node in protocol.nodes:
+        for array in node.arrays():
+            for _s, _w, slot in array:
+                if slot.role is LineRole.MASTER:
+                    masters[slot.line].append((array.name, slot))
+    for ref, slot in _llc_slots(protocol):
+        if slot.role is LineRole.MASTER:
+            masters[slot.line].append((f"llc{ref}", slot))
+    return masters
+
+
+def _check_single_master(protocol: D2MProtocol) -> None:
+    for line, places in _masters_by_line(protocol).items():
+        if len(places) > 1:
+            names = [name for name, _slot in places]
+            raise InvariantViolation(
+                f"line {line:#x} has {len(places)} masters: {names}"
+            )
+
+
+def _resolve_li(protocol: D2MProtocol, node, li: LI, line: int,
+                scramble: int) -> DataLine:
+    if li.is_local_cache:
+        array = protocol._local_array(node, li)
+        return array.expect(array.set_of(line, scramble), li.way, line)
+    if li.is_llc:
+        ref = protocol.llc.resolve(li, line, scramble)
+        return protocol.llc.expect(ref, line)
+    raise InvariantViolation(f"{li} is not resolvable to a slot")
+
+
+def _check_location_information(protocol: D2MProtocol) -> None:
+    amap = protocol.amap
+    masters = _masters_by_line(protocol)
+    for node in protocol.nodes:
+        for pregion, holder in _active_regions(node).items():
+            for idx, li in enumerate(holder.li):
+                line = amap.line_of_region(pregion, idx)
+                if li.kind is LIKind.INVALID:
+                    raise InvariantViolation(
+                        f"node {node.node}: invalid LI for line {line:#x} "
+                        f"in tracked region {pregion:#x}"
+                    )
+                if li.kind is LIKind.MEM:
+                    # Valid as long as memory's copy is current: a dirty
+                    # master elsewhere would make this a stale pointer.
+                    for name, slot in masters.get(line, []):
+                        if slot.dirty and \
+                                slot.version > protocol.memory.peek(line):
+                            raise InvariantViolation(
+                                f"node {node.node}: stale MEM pointer for "
+                                f"line {line:#x}; dirty master at {name}"
+                            )
+                    continue
+                if li.kind is LIKind.NODE:
+                    remote = protocol.nodes[li.node]
+                    if not remote.has_region(pregion):
+                        raise InvariantViolation(
+                            f"node {node.node}: LI names node {li.node} for "
+                            f"line {line:#x}, which has no metadata"
+                        )
+                    remote_li = remote.li_of(pregion, idx)
+                    if not remote_li.is_local_cache:
+                        raise InvariantViolation(
+                            f"node {node.node}: LI names node {li.node} for "
+                            f"line {line:#x}, whose own LI is {remote_li}"
+                        )
+                    continue
+                # Deterministic pointer into an array: must hold the line.
+                _resolve_li(protocol, node, li, line, holder.scramble)
+
+
+def _check_private_classification(protocol: D2MProtocol) -> None:
+    for node in protocol.nodes:
+        for pregion, holder in _active_regions(node).items():
+            if not holder.private:
+                continue
+            md3_entry = protocol.md3.peek(pregion)
+            if md3_entry is None or md3_entry.pb != {node.node}:
+                raise InvariantViolation(
+                    f"node {node.node}: region {pregion:#x} marked private "
+                    f"but PB={md3_entry.pb if md3_entry else None}"
+                )
+            for other in protocol.nodes:
+                if other.node != node.node and other.has_region(pregion):
+                    raise InvariantViolation(
+                        f"region {pregion:#x} private to node {node.node} "
+                        f"but node {other.node} has metadata for it"
+                    )
+
+
+def _check_tracking_closure(protocol: D2MProtocol) -> None:
+    amap = protocol.amap
+    for ref, slot in _llc_slots(protocol):
+        if slot.tracked_by_node is None:
+            continue
+        tracker = protocol.nodes[slot.tracked_by_node]
+        pregion = slot.region
+        idx = amap.line_index_in_region(slot.line)
+        if not tracker.has_region(pregion):
+            raise InvariantViolation(
+                f"node-tracked LLC slot for line {slot.line:#x} but node "
+                f"{slot.tracked_by_node} lost the region metadata"
+            )
+        holder = tracker.active_holder(pregion)
+        cur = holder.li[idx]
+        loc = (LI.in_slice(ref[0], ref[2]) if ref[0] is not None
+               else LI.in_llc(ref[2]))
+        if cur == loc:
+            continue
+        if cur.is_local_cache:
+            covering = protocol._local_slot(tracker, cur, slot.line,
+                                            holder.scramble)
+            if covering.rp == loc:
+                continue
+            # chain: L1 copy -> node-private LLC replica -> this master
+            if covering.rp is not None and covering.rp.is_llc:
+                inner_ref = protocol.llc.resolve(covering.rp, slot.line,
+                                                 holder.scramble)
+                inner = protocol.llc.get(inner_ref)
+                if (inner is not None and inner.line == slot.line
+                        and inner.rp == loc):
+                    continue
+        if cur.is_llc:
+            # chain: node-private LLC replica -> this master
+            mid_ref = protocol.llc.resolve(cur, slot.line, holder.scramble)
+            mid = protocol.llc.get(mid_ref)
+            if (mid is not None and mid.line == slot.line
+                    and mid.rp == loc):
+                continue
+        raise InvariantViolation(
+            f"node-tracked LLC slot for line {slot.line:#x} unreachable "
+            f"from node {slot.tracked_by_node} (LI={cur})"
+        )

@@ -1,0 +1,146 @@
+"""The globally shared third-level metadata store (MD3) and region locks.
+
+MD3 replaces the directory: one entry per region with Presence Bits, the
+global LI array, and the dynamic-indexing scramble.  Inclusion is
+enforced over all MD2s and the LLC, so evicting an MD3 entry triggers a
+global region eviction (delegated to the protocol).
+
+The blocking mechanism (paper appendix; WildFire-style) is a set of
+hashed lock bits allowing one outstanding metadata-changing operation
+per region.  The trace-driven simulator executes operations atomically,
+so the locks can never be observed held; they are modeled (and tested)
+because the protocol's correctness argument rests on them, and the
+acquire/release accounting documents which operations serialize.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import InvariantViolation, ProtocolError
+from repro.common.params import SystemConfig
+from repro.common.stats import StatGroup
+from repro.core.li import LI
+from repro.core.regions import MD3Entry, RegionClass, fresh_li_array
+from repro.mem.sram import SetAssocStore
+
+_SCRAMBLE_HASH = 0x9E3779B97F4A7C15
+
+
+def region_scramble(pregion: int, bits: int) -> int:
+    """Deterministic per-region random index value (paper §IV-D)."""
+    if bits <= 0:
+        return 0
+    return ((pregion * _SCRAMBLE_HASH) >> 17) & ((1 << bits) - 1)
+
+
+class RegionLocks:
+    """Hashed lock bits serializing metadata-changing region operations."""
+
+    def __init__(self, bits: int, stats: StatGroup) -> None:
+        if bits <= 0 or bits & (bits - 1):
+            raise InvariantViolation("lock bit count must be a power of two")
+        self.bits = bits
+        self._held = [False] * bits
+        self.stats = stats
+
+    def _index(self, pregion: int) -> int:
+        return (pregion * _SCRAMBLE_HASH >> 13) & (self.bits - 1)
+
+    def acquire(self, pregion: int) -> int:
+        """Block the region; returns the lock index (for release)."""
+        idx = self._index(pregion)
+        self.stats.add("acquires")
+        if self._held[idx]:
+            # Cannot happen in the atomic trace-driven execution; a real
+            # implementation would stall here (collision or same-region).
+            self.stats.add("collisions")
+            raise ProtocolError(f"lock bit {idx} already held")
+        self._held[idx] = True
+        return idx
+
+    def release(self, idx: int) -> None:
+        if not self._held[idx]:
+            raise ProtocolError(f"releasing lock bit {idx} that is not held")
+        self._held[idx] = False
+        self.stats.add("releases")
+
+    def held(self, pregion: int) -> bool:
+        return self._held[self._index(pregion)]
+
+
+class MD3Store:
+    """The shared metadata home: region entries with PB bits and LIs."""
+
+    def __init__(self, config: SystemConfig, stats: StatGroup) -> None:
+        self.config = config
+        self.stats = stats
+        geom = config.md3
+        self._store: SetAssocStore[MD3Entry] = SetAssocStore(geom.sets, geom.ways)
+        self.locks = RegionLocks(config.lock_bits, stats.child("locks"))
+        self._scramble_bits = (
+            config.policy.scramble_bits if config.policy.dynamic_indexing else 0
+        )
+
+    def lookup(self, pregion: int) -> Optional[MD3Entry]:
+        self.stats.add("lookups")
+        return self._store.lookup(pregion)
+
+    def peek(self, pregion: int) -> Optional[MD3Entry]:
+        return self._store.lookup(pregion, touch=False)
+
+    def classification(self, pregion: int) -> RegionClass:
+        entry = self.peek(pregion)
+        if entry is None:
+            return RegionClass.UNCACHED
+        return entry.classification
+
+    def is_untracked(self, pregion: int) -> bool:
+        entry = self.peek(pregion)
+        return entry is not None and not entry.pb
+
+    def ensure_capacity(self, pregion: int) -> Optional[MD3Entry]:
+        """The entry a fill of ``pregion`` would evict, if any.
+
+        The protocol performs the global region eviction (which ends with
+        :meth:`drop`) before calling :meth:`create`, so the victim's
+        metadata is still resident while its data is being purged.  The
+        policy protects regions with PB bits when an untracked victim
+        exists (forced global evictions are expensive).
+        """
+        victim = self._store.preview_victim(
+            pregion,
+            protected=lambda key, candidate: bool(candidate.pb),
+        )
+        if victim is None:
+            return None
+        self.stats.add("forced_region_evictions")
+        return victim[1]
+
+    def create(self, pregion: int) -> MD3Entry:
+        """Create an entry for an uncached region (event D4).
+
+        Call :meth:`ensure_capacity` (and globally evict its victim)
+        first; a fill must never silently displace a tracked region.
+        """
+        entry = MD3Entry(
+            pregion=pregion,
+            li=[LI.mem()] * self.config.region_lines,
+            scramble=region_scramble(pregion, self._scramble_bits),
+        )
+        if not entry.li:
+            entry.li = fresh_li_array(self.config.region_lines)
+        victim = self._store.insert(pregion, entry)
+        if victim is not None:
+            raise InvariantViolation(
+                f"MD3 fill of region {pregion:#x} evicted region "
+                f"{victim[0]:#x} without a global eviction"
+            )
+        self.stats.add("fills")
+        return entry
+
+    def drop(self, pregion: int) -> Optional[MD3Entry]:
+        return self._store.invalidate(pregion)
+
+    def __iter__(self):
+        return iter(self._store)

@@ -1,0 +1,114 @@
+"""Metadata entries for MD1, MD2, and MD3 (Figure 2).
+
+An *entry* always describes one region (``region_lines`` adjacent
+cachelines) and carries one LI pointer per line.  The three levels differ
+in tagging and extra state:
+
+* **MD1** — virtually tagged (replaces the TLB), carries the physical
+  region number (the translation), the Private bit, and the LI array.
+  At most one MD1 entry (in the I-side or D-side store) may be *active*
+  per region per node.
+* **MD2** — physically tagged; holds the LI array when no MD1 entry is
+  active, plus the Tracking Pointer (``active_in``/``tp_vregion``) that
+  locates the active MD1 entry otherwise.
+* **MD3** — globally shared; holds the Presence Bits (one per node), the
+  region's global LI array (valid only for non-private regions), and the
+  per-region index scramble used by dynamic indexing (§IV-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.core.li import LI
+
+
+class RegionClass(enum.Enum):
+    """Table II: classification of a region from its Presence Bits."""
+
+    UNCACHED = "uncached"    # no MD3 entry
+    UNTRACKED = "untracked"  # MD3 entry, no PB bits set
+    PRIVATE = "private"      # exactly one PB bit set
+    SHARED = "shared"        # more than one PB bit set
+
+    @staticmethod
+    def of(pb_count: int) -> "RegionClass":
+        if pb_count == 0:
+            return RegionClass.UNTRACKED
+        if pb_count == 1:
+            return RegionClass.PRIVATE
+        return RegionClass.SHARED
+
+
+class ActiveSite(enum.Enum):
+    """Which store currently holds a region's active LI array (the TP)."""
+
+    MD2 = "md2"
+    MD1I = "md1i"
+    MD1D = "md1d"
+
+
+def fresh_li_array(region_lines: int) -> List[LI]:
+    return [LI.invalid()] * region_lines
+
+
+@dataclass
+class MD1Entry:
+    """One region in a node's first-level metadata store."""
+
+    vregion: int
+    pregion: int
+    private: bool
+    li: List[LI]
+    scramble: int = 0
+    #: reuse statistics for the bypass heuristic (paper: region metadata
+    #: "can be easily extended to record cache bypass policies")
+    installs: int = 0
+    rehits: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.li:
+            raise ValueError("MD1 entry needs a non-empty LI array")
+
+
+@dataclass
+class MD2Entry:
+    """One region in a node's second-level metadata store."""
+
+    pregion: int
+    private: bool
+    li: List[LI]
+    scramble: int = 0
+    active_in: ActiveSite = ActiveSite.MD2
+    tp_vregion: Optional[int] = None  # tracking pointer to the active MD1 entry
+    installs: int = 0
+    rehits: int = 0
+
+    @property
+    def md1_active(self) -> bool:
+        return self.active_in is not ActiveSite.MD2
+
+
+@dataclass
+class MD3Entry:
+    """One region in the globally shared third-level metadata store."""
+
+    pregion: int
+    pb: Set[int] = field(default_factory=set)
+    li: List[LI] = field(default_factory=list)
+    scramble: int = 0
+
+    @property
+    def classification(self) -> RegionClass:
+        return RegionClass.of(len(self.pb))
+
+    @property
+    def is_private(self) -> bool:
+        return self.classification is RegionClass.PRIVATE
+
+    def sole_owner(self) -> int:
+        if not self.is_private:
+            raise ValueError(f"region {self.pregion:#x} is not private")
+        return next(iter(self.pb))

@@ -1,0 +1,15 @@
+"""Energy and EDP modeling (CACTI/McPAT-style analytic substitute)."""
+
+from repro.energy.model import (
+    EnergyAccountant,
+    StructureEnergy,
+    sram_structure,
+    DRAM_ACCESS_PJ,
+)
+
+__all__ = [
+    "EnergyAccountant",
+    "StructureEnergy",
+    "sram_structure",
+    "DRAM_ACCESS_PJ",
+]

@@ -1,0 +1,208 @@
+"""Analytic SRAM energy model standing in for CACTI 6.0 + McPAT @22 nm.
+
+The paper reports cache-hierarchy EDP *normalized to Base-2L*, so only the
+relative energy between structures matters: a tag search across N ways
+must cost ~N tag reads, a single data-way read must be much cheaper than
+a parallel read of all ways, a DRAM access must dwarf any SRAM access,
+and leakage must grow with capacity.  The scaling laws below reproduce
+those relationships with magnitudes consistent with published 22 nm CACTI
+numbers (L1 read a few pJ, 8 MB LLC bank read tens of pJ, DRAM ~15 nJ).
+
+Model (per access of a structure of ``size`` bytes):
+
+* wordline/bitline energy grows with the square root of the bank size;
+* each way of data read out costs the full line readout;
+* each way of tags searched costs one small tag readout + compare;
+* leakage is proportional to capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.stats import StatGroup
+
+#: one DRAM line fetch (row activation amortized), pJ
+DRAM_ACCESS_PJ = 15_000.0
+
+#: clock frequency used to convert leakage power to per-cycle energy
+CLOCK_GHZ = 2.0
+
+# Calibration constants (pJ); see module docstring for the shape argument.
+_BITLINE_PJ_PER_SQRT_KB = 0.55     # bank access scaling term
+_DATA_WAY_PJ = 1.8                 # reading one 64 B line out of a way
+_TAG_WAY_PJ = 0.35                 # reading + comparing one tag
+_LEAK_MW_PER_KB = 0.018            # leakage per kB of SRAM
+
+
+@dataclass(frozen=True)
+class StructureEnergy:
+    """Per-operation energies for one SRAM structure."""
+
+    name: str
+    size_bytes: int
+    #: energy of the structure's characteristic lookup (pJ)
+    read_pj: float
+    write_pj: float
+    leak_mw: float
+    d2m_only: bool = False
+
+    def static_pj(self, cycles: float) -> float:
+        """Leakage energy over ``cycles`` at :data:`CLOCK_GHZ`."""
+        # mW * ns = pJ; cycles / GHz = ns.
+        return self.leak_mw * (cycles / CLOCK_GHZ)
+
+
+def _bank_term(size_bytes: int) -> float:
+    return _BITLINE_PJ_PER_SQRT_KB * math.sqrt(max(size_bytes, 1) / 1024.0)
+
+
+def sram_structure(
+    name: str,
+    size_bytes: int,
+    data_ways_read: float,
+    tag_ways_searched: float,
+    entry_bytes: int = 64,
+    d2m_only: bool = False,
+) -> StructureEnergy:
+    """Build a :class:`StructureEnergy` from an access shape.
+
+    Args:
+        data_ways_read: how many ways of data one lookup reads in parallel
+            (8 for a parallel-read L1, 1 for a way-predicted or tag-less
+            access, 0 for tag-only probes).
+        tag_ways_searched: how many tags one lookup reads and compares.
+        entry_bytes: payload size per way (64 for caches, small for TLBs
+            and metadata entries — scales the data-way term).
+    """
+    scale = entry_bytes / 64.0
+    read = (
+        _bank_term(size_bytes)
+        + data_ways_read * _DATA_WAY_PJ * scale
+        + tag_ways_searched * _TAG_WAY_PJ
+    )
+    # A write drives one way's bitlines harder; tags are still searched.
+    write = (
+        _bank_term(size_bytes)
+        + max(data_ways_read, 1.0) * _DATA_WAY_PJ * scale * 1.2
+        + tag_ways_searched * _TAG_WAY_PJ
+    )
+    return StructureEnergy(
+        name=name,
+        size_bytes=size_bytes,
+        read_pj=read,
+        write_pj=write,
+        leak_mw=_LEAK_MW_PER_KB * size_bytes / 1024.0,
+        d2m_only=d2m_only,
+    )
+
+
+class EnergyAccountant:
+    """Accumulates dynamic energy per structure and computes totals.
+
+    Hierarchies register their structures once and then charge reads and
+    writes as they operate.  Figure 6 needs the standard-vs-D2M-only
+    split, which falls out of the ``d2m_only`` flag.
+    """
+
+    def __init__(self, stats: StatGroup) -> None:
+        self.stats = stats
+        self._structures: Dict[str, StructureEnergy] = {}
+        # Hot-path accumulators (flushed into stats on demand).
+        self._reads: Dict[str, float] = {}
+        self._writes: Dict[str, float] = {}
+        self._raw_pj: Dict[str, float] = {}
+        self._dram = 0.0
+
+    def register(self, structure: StructureEnergy) -> StructureEnergy:
+        if structure.name in self._structures:
+            raise ValueError(f"structure {structure.name!r} already registered")
+        self._structures[structure.name] = structure
+        self._reads[structure.name] = 0.0
+        self._writes[structure.name] = 0.0
+        return structure
+
+    def charge_read(self, name: str, count: float = 1.0) -> None:
+        self._reads[name] += count
+
+    def charge_write(self, name: str, count: float = 1.0) -> None:
+        self._writes[name] += count
+
+    def charge_dram(self, count: float = 1.0) -> None:
+        self._dram += count
+
+    def charge_raw(self, name: str, pj: float) -> None:
+        """Charge an externally computed amount (e.g. NoC energy)."""
+        self._raw_pj[name] = self._raw_pj.get(name, 0.0) + pj
+
+    def reset(self) -> None:
+        """Zero all accumulated charges (end of a warm-up phase)."""
+        for key in self._reads:
+            self._reads[key] = 0.0
+        for key in self._writes:
+            self._writes[key] = 0.0
+        self._raw_pj.clear()
+        self._dram = 0.0
+
+    def reads_of(self, name: str) -> float:
+        return self._reads.get(name, 0.0)
+
+    def writes_of(self, name: str) -> float:
+        return self._writes.get(name, 0.0)
+
+    @property
+    def dram_accesses(self) -> float:
+        return self._dram
+
+    def structure_pj(self, name: str) -> float:
+        structure = self._structures[name]
+        return (self._reads[name] * structure.read_pj
+                + self._writes[name] * structure.write_pj)
+
+    # -- totals -------------------------------------------------------------
+
+    def dynamic_pj(self, d2m_only: bool | None = None,
+                   include_dram: bool = True) -> float:
+        """Total dynamic energy; filter by the Figure-6 split if asked.
+
+        ``include_dram=False`` gives the *cache hierarchy* energy the
+        paper's Figure 6 reports (SRAM structures and the interconnect;
+        DRAM is off-chip and identical work in every configuration).
+        """
+        total = 0.0
+        for name, structure in self._structures.items():
+            if d2m_only is not None and structure.d2m_only != d2m_only:
+                continue
+            total += self.structure_pj(name)
+        if d2m_only in (None, False):
+            if include_dram:
+                total += self._dram * DRAM_ACCESS_PJ
+            total += sum(self._raw_pj.values())
+        return total
+
+    def flush(self) -> None:
+        """Materialize accumulated charges into the stats tree."""
+        for name in self._structures:
+            self.stats.set(f"{name}.reads", self._reads[name])
+            self.stats.set(f"{name}.writes", self._writes[name])
+            self.stats.set(f"{name}.dynamic_pj", self.structure_pj(name))
+        self.stats.set("dram.accesses", self._dram)
+        self.stats.set("dram.dynamic_pj", self._dram * DRAM_ACCESS_PJ)
+        for name, pj in self._raw_pj.items():
+            self.stats.set(f"{name}.dynamic_pj", pj)
+
+    def static_pj(self, cycles: float, d2m_only: bool | None = None) -> float:
+        total = 0.0
+        for structure in self._structures.values():
+            if d2m_only is not None and structure.d2m_only != d2m_only:
+                continue
+            total += structure.static_pj(cycles)
+        return total
+
+    def total_pj(self, cycles: float) -> float:
+        return self.dynamic_pj() + self.static_pj(cycles)
+
+    def structures(self) -> Dict[str, StructureEnergy]:
+        return dict(self._structures)

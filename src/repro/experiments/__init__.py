@@ -1,0 +1,12 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module has a ``main()`` that prints the artifact and returns the
+underlying data; the ``benchmarks/`` suite wraps them one-to-one.  All
+figure/table modules share one simulation sweep, cached on disk by
+:mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.records import RunRecord
+from repro.experiments.runner import get_matrix, sweep_workloads
+
+__all__ = ["RunRecord", "get_matrix", "sweep_workloads"]

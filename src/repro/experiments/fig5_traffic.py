@@ -1,0 +1,65 @@
+"""Figure 5: network traffic in messages per 1000 instructions.
+
+One bar per (workload, system); D2M bars split into basic coherence
+traffic and D2M-only metadata traffic (MD2 spill/fill, NewMaster, ...).
+The paper's headline: D2M-NS-R cuts traffic by ~70 % on average, with
+canneal and streamcluster as explicit outliers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.runner import Matrix, by_category, get_matrix, gmean
+from repro.experiments.tables import render_table
+
+CONFIG_ORDER = ("Base-2L", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R")
+
+
+def traffic_rows(matrix: Matrix):
+    rows = []
+    for category, workloads in by_category(matrix).items():
+        for workload in workloads:
+            row = [f"{category[:3]}:{workload}"]
+            for config in CONFIG_ORDER:
+                rec = matrix[workload][config]
+                cell = f"{rec.msgs_per_ki:.0f}"
+                if rec.d2m_msgs_per_ki:
+                    cell += f" ({rec.d2m_msgs_per_ki:.0f})"
+                row.append(cell)
+            rows.append(row)
+    return rows
+
+
+def reduction_summary(matrix: Matrix) -> Dict[str, float]:
+    """Traffic of each system relative to Base-2L (geometric mean)."""
+    out = {}
+    for config in CONFIG_ORDER:
+        ratios = []
+        for row in matrix.values():
+            base = row["Base-2L"].msgs_per_ki
+            if base > 0:
+                ratios.append(row[config].msgs_per_ki / base)
+        out[config] = gmean(ratios)
+    return out
+
+
+def main(matrix: Matrix | None = None) -> Dict[str, float]:
+    matrix = matrix if matrix is not None else get_matrix()
+    print(render_table(
+        ["workload"] + list(CONFIG_ORDER),
+        traffic_rows(matrix),
+        title="Figure 5 - Network traffic, msgs / 1000 instructions "
+              "(D2M-only traffic in parentheses)",
+    ))
+    summary = reduction_summary(matrix)
+    print()
+    for config, ratio in summary.items():
+        print(f"  {config:9s}: {ratio:6.2f}x Base-2L traffic "
+              f"({(1 - ratio) * 100:+.0f}% reduction)")
+    print("  paper: D2M-NS-R reduces traffic by ~70% on average")
+    return summary
+
+
+if __name__ == "__main__":
+    main()

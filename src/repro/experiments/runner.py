@@ -1,0 +1,117 @@
+"""Shared, disk-cached simulation sweep for all experiment harnesses.
+
+Every figure and table consumes the same (workload x system) matrix; the
+first harness to run pays for the sweep and the rest load it from a JSON
+cache under ``.repro_cache/`` (keyed by instruction budget, seed, and the
+exact workload/config sets).  ``REPRO_FRESH=1`` forces a re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.params import SystemConfig, all_configs
+from repro.experiments.records import RunRecord, record_from_outcome
+from repro.sim.runner import instruction_budget, run_workload
+from repro.workloads.registry import CATEGORIES, get_spec, workload_names
+
+#: matrix type: matrix[workload][config_name] -> RunRecord
+Matrix = Dict[str, Dict[str, RunRecord]]
+
+
+def sweep_workloads() -> List[str]:
+    """The paper's workload list (env REPRO_WORKLOADS narrows it)."""
+    selection = os.environ.get("REPRO_WORKLOADS", "")
+    if selection:
+        return [name.strip() for name in selection.split(",") if name.strip()]
+    return [name for cat in CATEGORIES for name in workload_names(cat)]
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", "")
+    path = Path(root) if root else Path.cwd() / ".repro_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_key(workloads: List[str], configs: List[SystemConfig],
+               instructions: int, seed: int) -> str:
+    text = json.dumps({
+        "workloads": workloads,
+        "configs": [c.name for c in configs],
+        "instructions": instructions,
+        "seed": seed,
+        "format": 3,
+    }, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def get_matrix(workloads: Optional[Iterable[str]] = None,
+               configs: Optional[Iterable[SystemConfig]] = None,
+               instructions: int = 0, seed: int = 1,
+               quiet: bool = False) -> Matrix:
+    """The shared run matrix, from cache when possible."""
+    workload_list = list(workloads) if workloads else sweep_workloads()
+    config_list = list(configs) if configs else list(all_configs())
+    budget = instructions or instruction_budget()
+    key = _cache_key(workload_list, config_list, budget, seed)
+    cache_file = cache_dir() / f"matrix-{key}.json"
+
+    if cache_file.exists() and not os.environ.get("REPRO_FRESH"):
+        raw = json.loads(cache_file.read_text())
+        return {
+            wl: {cfg: RunRecord.from_json(rec) for cfg, rec in row.items()}
+            for wl, row in raw.items()
+        }
+
+    matrix: Matrix = {}
+    total = len(workload_list) * len(config_list)
+    done = 0
+    for workload in workload_list:
+        category = get_spec(workload).category
+        row: Dict[str, RunRecord] = {}
+        for config in config_list:
+            done += 1
+            if not quiet:
+                print(f"[{done:3d}/{total}] {workload} on {config.name} ...",
+                      file=sys.stderr, flush=True)
+            outcome = run_workload(config, workload, budget, seed)
+            row[config.name] = record_from_outcome(outcome, category)
+        matrix[workload] = row
+
+    cache_file.write_text(json.dumps({
+        wl: {cfg: rec.to_json() for cfg, rec in row.items()}
+        for wl, row in matrix.items()
+    }))
+    return matrix
+
+
+def by_category(matrix: Matrix) -> Dict[str, List[str]]:
+    """Workload names present in the matrix, grouped by suite category."""
+    groups: Dict[str, List[str]] = {}
+    for workload, row in matrix.items():
+        category = next(iter(row.values())).category
+        groups.setdefault(category, []).append(workload)
+    ordered = {}
+    for cat in CATEGORIES:
+        if cat in groups:
+            ordered[cat] = groups[cat]
+    for cat, names in groups.items():
+        if cat not in ordered:
+            ordered[cat] = names
+    return ordered
+
+
+def gmean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table (right-aligned numbers, left-aligned text)."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,76 @@
+"""Main memory backing store and the sequential value checker.
+
+The simulators are trace driven and process accesses in one global total
+order, so a strong correctness oracle is available: every load must
+observe the value of the most recent store to its line in that order.
+`MainMemory` keeps the authoritative per-line version counters used by
+that oracle; the hierarchies carry versions around in their line state
+and the simulator cross-checks on every read when checking is enabled.
+
+Versions are integers: version 0 means "never written", and each store
+bumps the line's global version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import InvariantViolation
+from repro.common.stats import StatGroup
+
+
+class MainMemory:
+    """Sparse main memory holding the committed version of every line."""
+
+    def __init__(self, stats: StatGroup) -> None:
+        self.stats = stats
+        self._lines: Dict[int, int] = {}
+
+    def read_line(self, line: int) -> int:
+        """Fetch a line from DRAM; returns the committed version."""
+        self.stats.add("reads")
+        return self._lines.get(line, 0)
+
+    def write_line(self, line: int, version: int) -> None:
+        """Write a line back to DRAM (cache writeback)."""
+        self.stats.add("writes")
+        current = self._lines.get(line, 0)
+        if version < current:
+            raise InvariantViolation(
+                f"writeback of line {line:#x} would roll version back "
+                f"({version} < committed {current})"
+            )
+        self._lines[line] = version
+
+    def peek(self, line: int) -> int:
+        """Committed version without counting a DRAM access."""
+        return self._lines.get(line, 0)
+
+    @property
+    def footprint_lines(self) -> int:
+        return len(self._lines)
+
+
+class VersionOracle:
+    """Tracks the globally latest version per line for the value checker."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[int, int] = {}
+
+    def on_store(self, line: int) -> int:
+        """Record a store; returns the new authoritative version."""
+        version = self._latest.get(line, 0) + 1
+        self._latest[line] = version
+        return version
+
+    def check_load(self, line: int, observed: int) -> None:
+        """Assert a load observed the latest version of ``line``."""
+        expected = self._latest.get(line, 0)
+        if observed != expected:
+            raise InvariantViolation(
+                f"stale read of line {line:#x}: observed version {observed}, "
+                f"expected {expected}"
+            )
+
+    def latest(self, line: int) -> int:
+        return self._latest.get(line, 0)

@@ -1,0 +1,15 @@
+"""On-chip interconnect model: message kinds, topologies, accounting."""
+
+from repro.noc.messages import MessageKind, MessageClass
+from repro.noc.topology import Crossbar, Mesh2D, Topology, FAR_SIDE_HUB
+from repro.noc.network import Network
+
+__all__ = [
+    "MessageKind",
+    "MessageClass",
+    "Topology",
+    "Crossbar",
+    "Mesh2D",
+    "Network",
+    "FAR_SIDE_HUB",
+]

@@ -1,0 +1,79 @@
+"""Typed interconnect message kinds.
+
+Figure 5 of the paper splits traffic into *basic* coherence traffic and
+*D2M-only* traffic (MD2 spill/fill, new-master updates, ...).  Every
+message kind therefore carries a :class:`MessageClass` so the traffic
+experiment can reproduce that split, plus a payload size so byte-level
+traffic can also be reported.
+"""
+
+from __future__ import annotations
+
+import enum
+
+LINE_BYTES = 64
+CTRL_BYTES = 8
+MD_ENTRY_BYTES = 16  # one region's worth of location information
+
+
+class MessageClass(enum.Enum):
+    """The two bar segments of Figure 5."""
+
+    BASIC = "basic"       # request/data/coherence traffic any design has
+    D2M_ONLY = "d2m-only"  # metadata spill/fill, new-master updates, etc.
+
+
+class MessageKind(enum.Enum):
+    """Every distinct message the modeled protocols send.
+
+    The tuple payload is ``(message_class, payload_bytes)``.
+    """
+
+    # -- generic / baseline traffic ---------------------------------------
+    READ_REQ = (MessageClass.BASIC, CTRL_BYTES, 0)
+    READ_EX_REQ = (MessageClass.BASIC, CTRL_BYTES, 1)
+    UPGRADE_REQ = (MessageClass.BASIC, CTRL_BYTES, 2)
+    DATA_REPLY = (MessageClass.BASIC, LINE_BYTES + CTRL_BYTES, 3)
+    CTRL_REPLY = (MessageClass.BASIC, CTRL_BYTES, 4)
+    FWD_REQ = (MessageClass.BASIC, CTRL_BYTES, 5)
+    INVALIDATE = (MessageClass.BASIC, CTRL_BYTES, 6)
+    INV_ACK = (MessageClass.BASIC, CTRL_BYTES, 7)
+    WRITEBACK = (MessageClass.BASIC, LINE_BYTES + CTRL_BYTES, 8)
+    WB_ACK = (MessageClass.BASIC, CTRL_BYTES, 9)
+    MEM_READ = (MessageClass.BASIC, CTRL_BYTES, 10)
+    MEM_DATA = (MessageClass.BASIC, LINE_BYTES + CTRL_BYTES, 11)
+    MEM_WRITE = (MessageClass.BASIC, LINE_BYTES + CTRL_BYTES, 12)
+
+    # -- D2M direct-access traffic (still "basic": any design sends reads) --
+    DIRECT_READ = (MessageClass.BASIC, CTRL_BYTES, 13)
+    DIRECT_READ_EX = (MessageClass.BASIC, CTRL_BYTES, 14)
+    DIRECT_WRITE_DATA = (MessageClass.BASIC, LINE_BYTES + CTRL_BYTES, 15)
+
+    # -- D2M metadata traffic (the light bars of Figure 5) -------------------
+    READ_MM = (MessageClass.D2M_ONLY, CTRL_BYTES, 25)  # metadata miss to MD3
+    MD_REPLY = (MessageClass.D2M_ONLY, MD_ENTRY_BYTES + CTRL_BYTES, 16)
+    GET_MD = (MessageClass.D2M_ONLY, CTRL_BYTES, 17)
+    MD2_SPILL = (MessageClass.D2M_ONLY, MD_ENTRY_BYTES + CTRL_BYTES, 18)
+    MD2_FILL = (MessageClass.D2M_ONLY, MD_ENTRY_BYTES + CTRL_BYTES, 19)
+    NEW_MASTER = (MessageClass.D2M_ONLY, CTRL_BYTES, 20)
+    EVICT_REQ = (MessageClass.D2M_ONLY, CTRL_BYTES, 21)
+    RP_UPDATE = (MessageClass.D2M_ONLY, CTRL_BYTES, 22)
+    DONE = (MessageClass.D2M_ONLY, CTRL_BYTES, 23)
+    PRESSURE_SHARE = (MessageClass.D2M_ONLY, CTRL_BYTES, 24)
+
+    def __init__(self, message_class: MessageClass, payload_bytes: int,
+                 ordinal: int) -> None:
+        # The ordinal only exists to keep every member's value unique —
+        # members with equal (class, bytes) tuples would otherwise be
+        # silently collapsed into enum aliases.
+        self.message_class = message_class
+        self.payload_bytes = payload_bytes
+        self.ordinal = ordinal
+
+    @property
+    def is_d2m_only(self) -> bool:
+        return self.message_class is MessageClass.D2M_ONLY
+
+    @property
+    def carries_data(self) -> bool:
+        return self.payload_bytes > LINE_BYTES

@@ -1,0 +1,94 @@
+"""Interconnect traffic, latency, and energy accounting.
+
+The protocols call :meth:`Network.send` for every message; the network
+records message counts (split by :class:`MessageClass` for Figure 5),
+bytes moved, and returns the transfer latency so callers can fold it into
+the access latency.  Energy is accounted per hop and per byte.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+from repro.noc.messages import MessageKind
+from repro.noc.topology import Topology
+
+
+class Network:
+    """Message-counting interconnect with per-hop latency and energy.
+
+    Counting is kept off the hot path: one dict bump per message keyed by
+    ``(kind, hops)``; bytes, energy, and the basic/D2M-only split are
+    derived on demand (and folded into ``stats`` by :meth:`flush`).
+    """
+
+    #: dynamic energy per byte per hop (pJ); router+link, 22 nm class
+    ENERGY_PJ_PER_BYTE_HOP = 1.2
+    #: fixed per-message router overhead (pJ)
+    ENERGY_PJ_PER_MSG = 4.0
+
+    def __init__(self, topology: Topology, hop_latency: int, stats: StatGroup) -> None:
+        self.topology = topology
+        self.hop_latency = hop_latency
+        self.stats = stats
+        self._counts: dict = {}
+
+    def send(self, kind: MessageKind, src: int, dst: int) -> int:
+        """Send one message; returns its latency in cycles.
+
+        A zero-hop send (node to its own near-side slice) is free and is
+        not counted as network traffic — that is precisely the near-side
+        LLC advantage the paper measures.
+        """
+        hops = self.topology.hops(src, dst)
+        if hops == 0:
+            return 0
+        key = (kind, hops)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        return hops * self.hop_latency
+
+    def multicast(self, kind: MessageKind, src: int, dsts: list) -> int:
+        """Send to each destination; returns the slowest branch latency."""
+        worst = 0
+        for dst in dsts:
+            worst = max(worst, self.send(kind, src, dst))
+        return worst
+
+    def reset(self) -> None:
+        """Drop all traffic counts (used when a warm-up phase ends)."""
+        self._counts.clear()
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> float:
+        return float(sum(self._counts.values()))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(kind.payload_bytes * n
+                         for (kind, _hops), n in self._counts.items()))
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(
+            n * hops * (self.ENERGY_PJ_PER_MSG
+                        + kind.payload_bytes * self.ENERGY_PJ_PER_BYTE_HOP)
+            for (kind, hops), n in self._counts.items()
+        )
+
+    def messages_by_class(self) -> dict:
+        out = {"basic": 0.0, "d2m-only": 0.0}
+        for (kind, _hops), n in self._counts.items():
+            out[kind.message_class.value] += n
+        return out
+
+    def messages_of(self, kind: MessageKind) -> int:
+        return sum(n for (k, _h), n in self._counts.items() if k is kind)
+
+    def flush(self) -> None:
+        """Materialize the aggregate counters into the stats tree."""
+        self.stats.set("messages", self.total_messages)
+        self.stats.set("bytes", self.total_bytes)
+        self.stats.set("energy_pj", self.energy_pj)
+        for name, value in self.messages_by_class().items():
+            self.stats.set(f"messages.{name}", value)

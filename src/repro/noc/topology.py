@@ -1,0 +1,77 @@
+"""Interconnect topologies.
+
+Endpoints are integers: nodes are ``0..n-1`` and the far-side shared
+resources (LLC banks, directory, MD3, memory controller) live at the
+symbolic hub endpoint :data:`FAR_SIDE_HUB`.
+
+A topology only answers one question — how many hops between two
+endpoints — so the network accounting stays independent of layout.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigError
+
+#: symbolic endpoint for far-side shared structures
+FAR_SIDE_HUB = -1
+
+
+class Topology:
+    """Hop-count model between endpoints."""
+
+    def __init__(self, nodes: int) -> None:
+        if nodes <= 0:
+            raise ConfigError("topology needs at least one node")
+        self.nodes = nodes
+
+    def hops(self, src: int, dst: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, endpoint: int) -> None:
+        if endpoint != FAR_SIDE_HUB and not 0 <= endpoint < self.nodes:
+            raise ConfigError(
+                f"endpoint {endpoint} outside [0,{self.nodes}) and not the hub"
+            )
+
+
+class Crossbar(Topology):
+    """Single-hop crossbar: every traversal costs one hop.
+
+    This matches the paper's abstract interconnect: requests pay one NoC
+    traversal to reach anything on the other side, and zero hops for a
+    node talking to its own near-side slice (the caller simply does not
+    send a message in that case).
+    """
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return 0 if src == dst else 1
+
+
+class Mesh2D(Topology):
+    """2-D mesh with X-Y routing; the hub sits at the mesh center.
+
+    Provided as the more detailed alternative for sensitivity studies;
+    hop counts scale latency and energy linearly.
+    """
+
+    def __init__(self, nodes: int) -> None:
+        super().__init__(nodes)
+        self.cols = int(math.ceil(math.sqrt(nodes)))
+        self.rows = int(math.ceil(nodes / self.cols))
+
+    def _coord(self, endpoint: int) -> tuple:
+        if endpoint == FAR_SIDE_HUB:
+            return (self.rows // 2, self.cols // 2)
+        return (endpoint // self.cols, endpoint % self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        (r1, c1), (r2, c2) = self._coord(src), self._coord(dst)
+        return max(1, abs(r1 - r2) + abs(c1 - c2))

@@ -1,0 +1,15 @@
+"""Trace-driven simulation driver, performance model, and run helpers."""
+
+from repro.sim.simulator import Simulator, SimResult
+from repro.sim.perf import PerfModel, PerfSummary
+from repro.sim.runner import run_workload, run_matrix, RunSpec
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "PerfModel",
+    "PerfSummary",
+    "run_workload",
+    "run_matrix",
+    "RunSpec",
+]

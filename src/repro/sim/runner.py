@@ -1,0 +1,162 @@
+"""Run matrices of (config x workload) and derive paper metrics."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.params import SystemConfig
+from repro.common.types import HitLevel
+from repro.core.hierarchy import build_hierarchy
+from repro.sim.perf import PerfModel, PerfSummary
+from repro.sim.simulator import SimResult, Simulator
+from repro.workloads.registry import make_workload
+
+#: default instruction budget per run; override with REPRO_INSTRUCTIONS
+DEFAULT_INSTRUCTIONS = 120_000
+#: default warm-up instructions (region-of-interest measurement)
+DEFAULT_WARMUP_FRACTION = 0.5
+
+
+def instruction_budget(default: int = DEFAULT_INSTRUCTIONS) -> int:
+    """Per-run instruction count, overridable via REPRO_INSTRUCTIONS."""
+    value = os.environ.get("REPRO_INSTRUCTIONS", "")
+    return int(value) if value else default
+
+
+def warmup_budget(instructions: int) -> int:
+    """Warm-up instruction count, overridable via REPRO_WARMUP."""
+    value = os.environ.get("REPRO_WARMUP", "")
+    if value:
+        return int(value)
+    return int(instructions * DEFAULT_WARMUP_FRACTION)
+
+
+@dataclass
+class RunSpec:
+    """One (system, workload) simulation request."""
+
+    config: SystemConfig
+    workload: str
+    instructions: int = 0
+    seed: int = 1
+    check_values: bool = False  # oracle checking is for tests; slow
+
+
+@dataclass
+class RunOutcome:
+    """A finished run with the paper's derived metrics."""
+
+    spec: RunSpec
+    result: SimResult
+    perf: PerfSummary
+    hierarchy: object
+
+    # -- Figure 5 ---------------------------------------------------------
+
+    @property
+    def msgs_per_ki(self) -> float:
+        return 1000.0 * self.hierarchy.network.total_messages / max(
+            self.result.instructions, 1
+        )
+
+    @property
+    def d2m_msgs_per_ki(self) -> float:
+        per_class = self.hierarchy.network.messages_by_class()
+        return 1000.0 * per_class["d2m-only"] / max(self.result.instructions, 1)
+
+    @property
+    def bytes_per_ki(self) -> float:
+        return 1000.0 * self.hierarchy.network.total_bytes / max(
+            self.result.instructions, 1
+        )
+
+    # -- Table V ---------------------------------------------------------
+
+    @property
+    def invalidations(self) -> float:
+        return self.hierarchy.stats.get("invalidations_received")
+
+    @property
+    def private_miss_fraction(self) -> float:
+        stats = self.hierarchy.stats
+        misses = stats.get("l1.i.misses") + stats.get("l1.d.misses")
+        if not misses:
+            return 0.0
+        return stats.get("misses.private_region") / misses
+
+    # -- Figure 6 ---------------------------------------------------------
+
+    @property
+    def energy_pj(self) -> float:
+        """Total energy including DRAM (for completeness)."""
+        return self.hierarchy.energy.total_pj(self.perf.cycles)
+
+    @property
+    def cache_energy_pj(self) -> float:
+        """Cache-hierarchy energy (SRAM + NoC, no off-chip DRAM) — the
+        population Figure 6's EDP is computed over."""
+        acct = self.hierarchy.energy
+        return (acct.dynamic_pj(include_dram=False)
+                + acct.static_pj(self.perf.cycles))
+
+    @property
+    def edp(self) -> float:
+        """Cache-hierarchy energy-delay product (Figure 6)."""
+        return self.cache_energy_pj * self.perf.cycles
+
+    def edp_split(self) -> Dict[str, float]:
+        """Standard vs D2M-only structure contribution to the EDP bar."""
+        acct = self.hierarchy.energy
+        cycles = self.perf.cycles
+        d2m = acct.dynamic_pj(d2m_only=True) + acct.static_pj(cycles,
+                                                              d2m_only=True)
+        total = self.cache_energy_pj
+        return {
+            "standard": (total - d2m) * cycles,
+            "d2m-only": d2m * cycles,
+        }
+
+    # -- latency ---------------------------------------------------------
+
+    @property
+    def avg_l1_miss_latency(self) -> float:
+        return self.result.avg_miss_latency()
+
+
+def run_workload(config: SystemConfig, workload_name: str,
+                 instructions: int = 0, seed: int = 1,
+                 check_values: bool = False) -> RunOutcome:
+    """Simulate one workload on one system configuration."""
+    budget = instructions or instruction_budget()
+    hierarchy = build_hierarchy(config)
+    workload = make_workload(workload_name, config.nodes, hierarchy.amap,
+                             seed=seed)
+    simulator = Simulator(hierarchy, check_values=check_values)
+    result = simulator.run(workload, budget, seed=seed,
+                           warmup=warmup_budget(budget))
+    perf = PerfModel(config.ooo).summarize(result)
+    return RunOutcome(
+        spec=RunSpec(config, workload_name, budget, seed, check_values),
+        result=result,
+        perf=perf,
+        hierarchy=hierarchy,
+    )
+
+
+def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],
+               instructions: int = 0, seed: int = 1,
+               progress=None) -> Dict[str, Dict[str, RunOutcome]]:
+    """All (workload, config) runs: ``matrix[workload][config.name]``."""
+    matrix: Dict[str, Dict[str, RunOutcome]] = {}
+    configs = list(configs)
+    for workload_name in workloads:
+        row: Dict[str, RunOutcome] = {}
+        for config in configs:
+            if progress is not None:
+                progress(workload_name, config.name)
+            row[config.name] = run_workload(config, workload_name,
+                                            instructions, seed)
+        matrix[workload_name] = row
+    return matrix

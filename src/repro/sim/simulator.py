@@ -1,0 +1,219 @@
+"""The trace-driven simulation driver.
+
+The simulator feeds a workload's access stream through one hierarchy,
+keeping per-core clocks, an MSHR model (accesses to a line whose miss is
+still outstanding become *late hits* with the residual latency, matching
+the paper's Table IV "Late Hits" columns), and an optional sequential
+value checker (every load must observe the version written by the
+globally most recent store — a strong coherence oracle available because
+the trace is processed in one total order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import TraceError
+from repro.common.stats import StatGroup
+from repro.common.types import Access, AccessResult, HitLevel
+from repro.mem.mainmem import VersionOracle
+
+
+@dataclass
+class LatencyBucket:
+    """Count/total-latency accumulator."""
+
+    count: int = 0
+    total_latency: int = 0
+
+    def add(self, latency: int) -> None:
+        self.count += 1
+        self.total_latency += latency
+
+    @property
+    def mean(self) -> float:
+        return self.total_latency / self.count if self.count else 0.0
+
+
+@dataclass
+class SimResult:
+    """Everything an experiment needs from one simulation run."""
+
+    name: str
+    instructions: int
+    accesses: int
+    stats: StatGroup
+    #: latency accumulators keyed by (is_instruction, HitLevel)
+    buckets: Dict[Tuple[bool, HitLevel], LatencyBucket]
+    #: per-core (instructions, instr-stall-latency, data-stall-latency)
+    core_instructions: Dict[int, int] = field(default_factory=dict)
+    core_instr_miss_latency: Dict[int, int] = field(default_factory=dict)
+    core_data_miss_latency: Dict[int, int] = field(default_factory=dict)
+
+    def bucket(self, instr: bool, level: HitLevel) -> LatencyBucket:
+        return self.buckets.get((instr, level), LatencyBucket())
+
+    def count_where(self, instr: Optional[bool] = None,
+                    levels: Optional[Tuple[HitLevel, ...]] = None) -> int:
+        total = 0
+        for (is_instr, level), bucket in self.buckets.items():
+            if instr is not None and is_instr != instr:
+                continue
+            if levels is not None and level not in levels:
+                continue
+            total += bucket.count
+        return total
+
+    def miss_ratio(self, instr: bool) -> float:
+        """Paper Table IV: L1 misses / L1 accesses for the I or D side."""
+        misses = sum(
+            b.count for (i, lvl), b in self.buckets.items()
+            if i == instr and lvl.is_l1_miss
+        )
+        accesses = sum(
+            b.count for (i, _lvl), b in self.buckets.items() if i == instr
+        )
+        return misses / accesses if accesses else 0.0
+
+    def late_hit_ratio(self, instr: bool) -> float:
+        late = self.bucket(instr, HitLevel.LATE).count
+        accesses = sum(
+            b.count for (i, _lvl), b in self.buckets.items() if i == instr
+        )
+        return late / accesses if accesses else 0.0
+
+    def avg_miss_latency(self) -> float:
+        """Average latency of accesses that left the L1."""
+        total = count = 0
+        for (_i, level), bucket in self.buckets.items():
+            if level.is_l1_miss:
+                total += bucket.total_latency
+                count += bucket.count
+        return total / count if count else 0.0
+
+    def ns_hit_ratio(self, instr: bool) -> float:
+        """Fraction of LLC accesses served by the local (near-side) slice."""
+        local = self.bucket(instr, HitLevel.LLC_LOCAL).count
+        remote = self.bucket(instr, HitLevel.LLC_REMOTE).count
+        total = local + remote
+        return local / total if total else 0.0
+
+
+class Simulator:
+    """Drives one workload through one hierarchy."""
+
+    def __init__(self, hierarchy, check_values: bool = True) -> None:
+        self.hierarchy = hierarchy
+        self.check_values = check_values
+        self.oracle = VersionOracle()
+        self._core_time: Dict[int, float] = {}
+        self._outstanding: Dict[Tuple[int, int], float] = {}
+        self._issue_interval = hierarchy.config.ooo.base_cpi
+        self._recording = True
+        self._warmup_left = 0
+
+    def run(self, workload, n_instructions: int, seed: int = 0,
+            warmup: int = 0) -> SimResult:
+        """Simulate ``n_instructions`` of ``workload``.
+
+        The workload yields :class:`Access` objects and provides
+        ``translate(core, vaddr)``; an IFETCH marks an instruction
+        boundary for the per-core clocks and the msgs/KI metrics.
+
+        ``warmup`` instructions run first with full protocol behaviour
+        (and value checking) but are excluded from every reported metric,
+        emulating the paper's region-of-interest measurement.
+        """
+        amap = self.hierarchy.amap
+        result = SimResult(
+            name=self.hierarchy.config.name,
+            instructions=0,
+            accesses=0,
+            stats=self.hierarchy.stats,
+            buckets={},
+        )
+        self._recording = warmup == 0
+        self._warmup_left = warmup
+        for acc in workload.generate(warmup + n_instructions, seed):
+            paddr = workload.translate(acc.core, acc.vaddr)
+            if paddr < 0:
+                raise TraceError(f"negative physical address for {acc}")
+            line = amap.line_of(paddr)
+            now = self._advance(acc, result)
+
+            if acc.is_write:
+                version = self.oracle.on_store(line) if self.check_values else 1
+                outcome = self.hierarchy.access(acc, paddr, version)
+            else:
+                outcome = self.hierarchy.access(acc, paddr)
+                if self.check_values:
+                    self.oracle.check_load(line, outcome.version)
+
+            outcome = self._apply_mshr(acc.core, line, now, outcome)
+            if self._recording:
+                self._record(acc, outcome, result)
+        self.hierarchy.finalize()
+        return result
+
+    # ------------------------------------------------------------------ internals
+
+    def _advance(self, acc: Access, result: SimResult) -> float:
+        now = self._core_time.get(acc.core, 0.0)
+        if acc.is_instruction:
+            now += self._issue_interval
+            self._core_time[acc.core] = now
+            if self._recording:
+                result.instructions += 1
+                result.core_instructions[acc.core] = (
+                    result.core_instructions.get(acc.core, 0) + 1
+                )
+            elif self._warmup_left > 0:
+                self._warmup_left -= 1
+                if self._warmup_left == 0:
+                    # Region of interest starts: drop warm-up statistics.
+                    self.hierarchy.stats.reset()
+                    self.hierarchy.network.reset()
+                    self.hierarchy.energy.reset()
+                    self._recording = True
+        if self._recording:
+            result.accesses += 1
+        return now
+
+    def _apply_mshr(self, core: int, line: int, now: float,
+                    outcome: AccessResult) -> AccessResult:
+        """Convert hits under an outstanding miss into late hits."""
+        key = (core, line)
+        completion = self._outstanding.get(key)
+        if completion is not None and completion <= now:
+            del self._outstanding[key]
+            completion = None
+        if outcome.level is HitLevel.L1:
+            if completion is not None:
+                residual = max(1, int(completion - now))
+                return AccessResult(HitLevel.LATE, residual,
+                                    version=outcome.version,
+                                    private_region=outcome.private_region)
+            return outcome
+        self._outstanding[key] = now + outcome.latency
+        return outcome
+
+    def _record(self, acc: Access, outcome: AccessResult,
+                result: SimResult) -> None:
+        key = (acc.is_instruction, outcome.level)
+        bucket = result.buckets.get(key)
+        if bucket is None:
+            bucket = LatencyBucket()
+            result.buckets[key] = bucket
+        bucket.add(outcome.latency)
+        if outcome.level.is_l1_miss:
+            if acc.is_instruction:
+                result.core_instr_miss_latency[acc.core] = (
+                    result.core_instr_miss_latency.get(acc.core, 0)
+                    + outcome.latency
+                )
+            else:
+                result.core_data_miss_latency[acc.core] = (
+                    result.core_data_miss_latency.get(acc.core, 0)
+                    + outcome.latency
+                )

@@ -1,0 +1,20 @@
+"""Synthetic workload generators replacing the paper's gem5 traces."""
+
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec, CodeModel, DataMix
+from repro.workloads.registry import (
+    make_workload,
+    workload_names,
+    workloads_by_category,
+    CATEGORIES,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "CodeModel",
+    "DataMix",
+    "make_workload",
+    "workload_names",
+    "workloads_by_category",
+    "CATEGORIES",
+]

@@ -1,0 +1,51 @@
+"""Lookup and construction of named workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.address import AddressMap
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec
+from repro.workloads.suites import DATABASE, MOBILE, PARSEC, SERVER, SPLASH
+
+#: presentation order matching the paper's figures
+CATEGORIES = ("Parallel", "HPC", "Mobile", "Server", "Database")
+
+_ALL: Dict[str, WorkloadSpec] = {}
+for _suite in (PARSEC, SPLASH, MOBILE, SERVER, DATABASE):
+    for _name, _spec in _suite.items():
+        if _name in _ALL:
+            raise ValueError(f"duplicate workload name {_name!r}")
+        _ALL[_name] = _spec
+
+
+def workload_names(category: str = "") -> List[str]:
+    """All workload names, optionally filtered by suite category."""
+    if not category:
+        return list(_ALL)
+    return [name for name, spec in _ALL.items() if spec.category == category]
+
+
+def workloads_by_category() -> Dict[str, List[str]]:
+    return {cat: workload_names(cat) for cat in CATEGORIES}
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_ALL)}"
+        ) from None
+
+
+def make_workload(name: str, nodes: int, amap: AddressMap | None = None,
+                  seed: int = 0) -> SyntheticWorkload:
+    """Build a fresh instance of a named workload.
+
+    Fresh per simulation run: instances hold address-space and stream
+    state, so reusing one across runs would leak warm-up effects.
+    """
+    if amap is None:
+        amap = AddressMap()
+    return SyntheticWorkload(get_spec(name), nodes, amap, seed=seed)

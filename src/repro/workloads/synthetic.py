@@ -1,0 +1,237 @@
+"""Data-access stream primitives for the synthetic workloads.
+
+Each stream models one access-pattern archetype the paper's workloads
+exhibit (streaming, strided, random, pointer chasing, hot/cold reuse,
+producer-consumer sharing, lock lines).  A stream instance is bound to
+one core; streams over *shared* address ranges are simply instantiated
+per core over the same range.
+
+All streams are deterministic given the driving RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Tuple
+
+#: (virtual address, is_write)
+Op = Tuple[int, bool]
+
+
+class Stream:
+    """One data-access pattern generator."""
+
+    def next_op(self, rng: random.Random) -> Op:
+        raise NotImplementedError
+
+
+class SequentialStream(Stream):
+    """Streaming through a buffer (streamcluster, libquantum-like)."""
+
+    def __init__(self, base: int, size: int, stride: int = 64,
+                 write_frac: float = 0.0) -> None:
+        if size <= 0 or stride <= 0:
+            raise ValueError("size and stride must be positive")
+        self.base = base
+        self.size = size
+        self.stride = stride
+        self.write_frac = write_frac
+        self._pos = 0
+
+    def next_op(self, rng: random.Random) -> Op:
+        addr = self.base + (self._pos * self.stride) % self.size
+        self._pos += 1
+        return addr, rng.random() < self.write_frac
+
+
+class StridedStream(Stream):
+    """Large power-of-two strides (LU's pathological indexing, FFT)."""
+
+    def __init__(self, base: int, size: int, stride: int,
+                 write_frac: float = 0.2) -> None:
+        self.base = base
+        self.size = size
+        self.stride = stride
+        self.write_frac = write_frac
+        self._pos = 0
+        self._offset = 0
+
+    def next_op(self, rng: random.Random) -> Op:
+        addr = self.base + (self._offset + self._pos * self.stride) % self.size
+        self._pos += 1
+        if self._pos * self.stride >= self.size:
+            self._pos = 0
+            self._offset = (self._offset + 64) % self.stride
+        return addr, rng.random() < self.write_frac
+
+
+class RandomStream(Stream):
+    """Uniform random over a buffer (canneal, mcf-like).
+
+    Each pick reads a few adjacent fields of the chosen record
+    (``run_ops`` operations), like dereferencing a graph node.
+    """
+
+    def __init__(self, base: int, size: int, write_frac: float = 0.1,
+                 run_ops: int = 3, run_step: int = 16) -> None:
+        self.base = base
+        self.size = size
+        self.write_frac = write_frac
+        self.run_ops = max(1, run_ops)
+        self.run_step = run_step
+        self._run_left = 0
+        self._run_addr = base
+
+    def next_op(self, rng: random.Random) -> Op:
+        if self._run_left > 0:
+            self._run_left -= 1
+            self._run_addr += self.run_step
+            return self._run_addr, rng.random() < self.write_frac
+        addr = self.base + (rng.randrange(self.size) & ~0x3F)
+        self._run_left = self.run_ops - 1
+        self._run_addr = addr
+        return addr, rng.random() < self.write_frac
+
+
+class ZipfStream(Stream):
+    """Hot/cold reuse over a pool of granules (heaps, buffer pools).
+
+    A pick selects an object with Zipf popularity, then walks it
+    sequentially for ``run_ops`` operations (fields of a record, elements
+    of a small array) — the spatial locality that gives real programs
+    their L1 hit ratios and the paper's "late hit" population.
+    """
+
+    def __init__(self, base: int, size: int, granule: int = 256,
+                 alpha: float = 0.8, write_frac: float = 0.1,
+                 items: int = 0, run_ops: int = 6, run_step: int = 24) -> None:
+        self.base = base
+        self.size = size
+        self.granule = granule
+        self.write_frac = write_frac
+        self.run_ops = max(1, run_ops)
+        self.run_step = run_step
+        count = items or max(1, size // granule)
+        self._count = count
+        # CDF of a Zipf(alpha) over `count` items, capped for memory.
+        capped = min(count, 16384)
+        weights = [1.0 / ((i + 1) ** alpha) for i in range(capped)]
+        total = sum(weights)
+        cum = 0.0
+        self._cdf: List[float] = []
+        for w in weights:
+            cum += w / total
+            self._cdf.append(cum)
+        self._spread = max(1, count // capped)
+        self._run_left = 0
+        self._run_addr = base
+
+    def next_op(self, rng: random.Random) -> Op:
+        if self._run_left > 0:
+            self._run_left -= 1
+            self._run_addr += self.run_step
+            return self._run_addr, rng.random() < self.write_frac
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        item = (rank * self._spread + rng.randrange(self._spread)) % self._count
+        # Popularity correlates with allocation order (hot objects cluster
+        # spatially), which is what gives real heaps their *region*
+        # locality — the property D2M's region-granular metadata exploits.
+        addr = self.base + (item * self.granule) % self.size
+        self._run_left = self.run_ops - 1
+        self._run_addr = addr
+        return addr, rng.random() < self.write_frac
+
+
+class PointerChaseStream(Stream):
+    """Dependent pointer walk over a shuffled node pool (barnes, trees)."""
+
+    def __init__(self, base: int, size: int, node_size: int = 64,
+                 write_frac: float = 0.05, seed: int = 7) -> None:
+        self.base = base
+        self.node_size = node_size
+        self.write_frac = write_frac
+        count = max(2, size // node_size)
+        order = list(range(count))
+        random.Random(seed).shuffle(order)
+        self._next = {order[i]: order[(i + 1) % count] for i in range(count)}
+        self._cur = order[0]
+        self._field = 0
+
+    def next_op(self, rng: random.Random) -> Op:
+        if self._field > 0:
+            addr = self.base + self._cur * self.node_size + self._field * 16
+            self._field = (self._field + 1) % 3
+            return addr, rng.random() < self.write_frac
+        self._cur = self._next[self._cur]
+        self._field = 1
+        addr = self.base + self._cur * self.node_size
+        return addr, rng.random() < self.write_frac
+
+
+class StencilStream(Stream):
+    """Neighbour-exchange grids (ocean, fluidanimate): mostly-private rows
+    with reads spilling into the neighbouring cores' rows."""
+
+    def __init__(self, base: int, rows: int, row_bytes: int, core: int,
+                 cores: int, write_frac: float = 0.3) -> None:
+        self.base = base
+        self.rows = rows
+        self.row_bytes = row_bytes
+        self.core = core
+        self.cores = cores
+        self.write_frac = write_frac
+        self._pos = 0
+
+    def next_op(self, rng: random.Random) -> Op:
+        rows_per_core = max(1, self.rows // self.cores)
+        my_first = self.core * rows_per_core
+        offset = self._pos % self.row_bytes
+        self._pos += 16
+        roll = rng.random()
+        if roll < 0.08:  # halo read from a neighbour's boundary row
+            neighbour = (self.core + (1 if roll < 0.04 else -1)) % self.cores
+            row = neighbour * rows_per_core + (0 if roll < 0.04 else
+                                               rows_per_core - 1)
+            return self.base + row * self.row_bytes + offset, False
+        row = my_first + (self._pos // self.row_bytes) % rows_per_core
+        return (self.base + row * self.row_bytes + offset,
+                rng.random() < self.write_frac)
+
+
+class ProducerConsumerStream(Stream):
+    """Pipeline sharing (dedup, x264): write own chunk, read predecessor's."""
+
+    def __init__(self, base: int, chunk: int, core: int, cores: int,
+                 read_frac: float = 0.5) -> None:
+        self.base = base
+        self.chunk = chunk
+        self.core = core
+        self.cores = cores
+        self.read_frac = read_frac
+        self._wpos = 0
+        self._rpos = 0
+
+    def next_op(self, rng: random.Random) -> Op:
+        if rng.random() < self.read_frac:
+            src = (self.core - 1) % self.cores
+            addr = self.base + src * self.chunk + self._rpos % self.chunk
+            self._rpos += 16
+            return addr, False
+        addr = self.base + self.core * self.chunk + self._wpos % self.chunk
+        self._wpos += 16
+        return addr, True
+
+
+class HotLineStream(Stream):
+    """Contended synchronization lines (locks, counters, log tails)."""
+
+    def __init__(self, base: int, lines: int = 8,
+                 write_frac: float = 0.5) -> None:
+        self.base = base
+        self.lines = lines
+        self.write_frac = write_frac
+
+    def next_op(self, rng: random.Random) -> Op:
+        addr = self.base + rng.randrange(self.lines) * 64
+        return addr, rng.random() < self.write_frac

@@ -1,0 +1,96 @@
+"""Unit tests for the baseline private cache levels."""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.common.params import base_2l, base_3l
+from repro.common.types import AccessKind, CoherenceState
+from repro.baseline.cache import NodeCaches
+
+
+class TestInstall:
+    def test_install_and_hit(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.LOAD, 7, version=1,
+                   state=CoherenceState.EXCLUSIVE, dirty=False)
+        assert nc.holds(7)
+        assert nc.l1_hit(AccessKind.LOAD, 7).version == 1
+
+    def test_ifetch_goes_to_l1i(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.IFETCH, 7, 0, CoherenceState.SHARED, False)
+        assert nc.l1_hit(AccessKind.IFETCH, 7) is not None
+        assert nc.l1_hit(AccessKind.LOAD, 7) is None
+
+    def test_store_install_drops_l1i_copy(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.IFETCH, 7, 0, CoherenceState.EXCLUSIVE, False)
+        nc.install(AccessKind.STORE, 7, 1, CoherenceState.MODIFIED, True)
+        assert nc.l1_hit(AccessKind.IFETCH, 7) is None
+
+    def test_l1_eviction_departs_node_in_2l(self):
+        cfg = base_2l()
+        nc = NodeCaches(0, cfg)
+        sets = cfg.l1d.sets
+        evicted = []
+        for i in range(cfg.l1d.ways + 1):
+            evicted += nc.install(AccessKind.LOAD, i * sets, 1,
+                                  CoherenceState.EXCLUSIVE, False)
+        assert len(evicted) == 1
+        assert evicted[0].line == 0
+        assert not nc.holds(0)
+
+    def test_l1_eviction_spills_to_l2_in_3l(self):
+        cfg = base_3l()
+        nc = NodeCaches(0, cfg)
+        sets = cfg.l1d.sets
+        evicted = []
+        for i in range(cfg.l1d.ways + 1):
+            evicted += nc.install(AccessKind.LOAD, i * sets, 1,
+                                  CoherenceState.EXCLUSIVE, False)
+        assert evicted == []          # stayed in the node (L2)
+        assert nc.holds(0)
+        assert nc.l2_hit(0) is not None
+
+
+class TestWrites:
+    def test_write_hit_bumps_version_and_state(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.LOAD, 7, 1, CoherenceState.EXCLUSIVE, False)
+        nc.write_hit(7, 2)
+        assert nc.state_of(7) is CoherenceState.MODIFIED
+        assert nc.current_version(7) == 2
+
+    def test_write_hit_requires_permission(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.LOAD, 7, 1, CoherenceState.SHARED, False)
+        with pytest.raises(InvariantViolation):
+            nc.write_hit(7, 2)
+
+    def test_write_hit_updates_l2_copy(self):
+        nc = NodeCaches(0, base_3l())
+        nc.install(AccessKind.LOAD, 7, 1, CoherenceState.EXCLUSIVE, False)
+        nc.write_hit(7, 5)
+        assert nc.l2_hit(7).version == 5
+
+
+class TestCoherenceActions:
+    def test_invalidate_line_reports_dirty(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.STORE, 7, 3, CoherenceState.MODIFIED, True)
+        had_dirty, version = nc.invalidate_line(7)
+        assert had_dirty and version == 3
+        assert not nc.holds(7)
+
+    def test_invalidate_absent_line(self):
+        nc = NodeCaches(0, base_2l())
+        assert nc.invalidate_line(99) == (False, 0)
+
+    def test_downgrade_clears_dirty(self):
+        nc = NodeCaches(0, base_2l())
+        nc.install(AccessKind.STORE, 7, 3, CoherenceState.MODIFIED, True)
+        was_dirty, version = nc.downgrade_line(7)
+        assert was_dirty and version == 3
+        assert nc.state_of(7) is CoherenceState.SHARED
+        # a second downgrade sees clean data
+        assert nc.downgrade_line(7) == (False, 3)

@@ -1,0 +1,62 @@
+"""Unit tests for the full-map MESI directory."""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.baseline.directory import Directory
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        d = Directory()
+        assert d.peek(5) is None
+        ent = d.entry(5)
+        assert ent.is_uncached
+        assert d.peek(5) is ent
+
+    def test_add_sharers(self):
+        d = Directory()
+        d.add_sharer(1, 0)
+        d.add_sharer(1, 3)
+        assert d.entry(1).sharers == {0, 3}
+
+    def test_set_owner_clears_other_sharers(self):
+        d = Directory()
+        d.add_sharer(1, 0)
+        d.set_owner(1, 2)
+        ent = d.entry(1)
+        assert ent.owner == 2
+        assert ent.sharers == {2}
+
+    def test_owner_plus_foreign_sharer_rejected(self):
+        d = Directory()
+        d.set_owner(1, 2)
+        with pytest.raises(InvariantViolation):
+            d.add_sharer(1, 5)
+
+    def test_clear_owner_keeps_sharer(self):
+        d = Directory()
+        d.set_owner(1, 2)
+        d.clear_owner(1)
+        ent = d.entry(1)
+        assert ent.owner is None
+        assert 2 in ent.sharers
+
+    def test_remove_node(self):
+        d = Directory()
+        d.set_owner(1, 2)
+        d.remove_node(1, 2)
+        assert d.entry(1).is_uncached
+
+    def test_drop(self):
+        d = Directory()
+        d.add_sharer(1, 0)
+        assert d.drop(1) is not None
+        assert d.peek(1) is None
+        assert d.drop(1) is None
+
+    def test_tracked_lines(self):
+        d = Directory()
+        d.add_sharer(1, 0)
+        d.add_sharer(2, 0)
+        assert d.tracked_lines() == 2

@@ -1,0 +1,108 @@
+"""Unit tests for configuration validation and factory configs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    CacheGeometry,
+    LLCPlacement,
+    MetadataGeometry,
+    OoOModel,
+    SystemKind,
+    all_configs,
+    base_2l,
+    base_3l,
+    d2m_fs,
+    d2m_ns,
+    d2m_ns_r,
+)
+
+
+class TestCacheGeometry:
+    def test_sets_derived(self):
+        geom = CacheGeometry(32 * 1024, 8)
+        assert geom.sets == 64
+        assert geom.lines == 512
+
+    def test_rejects_nonpow2_sets(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(3 * 1024, 8)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 8)
+
+
+class TestMetadataGeometry:
+    def test_sets(self):
+        geom = MetadataGeometry(4096, 8)
+        assert geom.sets == 512
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ConfigError):
+            MetadataGeometry(100, 8)
+
+
+class TestOoOModel:
+    def test_rejects_full_hiding(self):
+        with pytest.raises(ConfigError):
+            OoOModel(data_hide_fraction=1.0)
+
+    def test_rejects_zero_cpi(self):
+        with pytest.raises(ConfigError):
+            OoOModel(base_cpi=0)
+
+
+class TestFactories:
+    def test_five_configs(self):
+        names = [c.name for c in all_configs()]
+        assert names == ["Base-2L", "Base-3L", "D2M-FS", "D2M-NS",
+                         "D2M-NS-R"]
+
+    def test_base_3l_has_l2(self):
+        assert base_3l().l2 is not None
+        assert base_2l().l2 is None
+
+    def test_d2m_kinds(self):
+        assert d2m_fs().kind is SystemKind.D2M
+        assert base_2l().kind is SystemKind.BASELINE
+
+    def test_near_side_slices(self):
+        cfg = d2m_ns()
+        assert cfg.llc_placement is LLCPlacement.NEAR_SIDE
+        slice_geom = cfg.llc_slice
+        assert slice_geom.size * cfg.nodes == cfg.llc.size
+        assert slice_geom.ways * cfg.nodes == cfg.llc.ways
+
+    def test_far_side_has_no_slices(self):
+        with pytest.raises(ConfigError):
+            _ = d2m_fs().llc_slice
+
+    def test_ns_r_policies(self):
+        policy = d2m_ns_r().policy
+        assert policy.replicate_instructions
+        assert policy.replicate_mru_data
+        assert policy.dynamic_indexing
+        assert not d2m_ns().policy.replicate_instructions
+
+    def test_region_fits_page(self):
+        cfg = d2m_fs()
+        assert cfg.region_size <= cfg.page_size
+
+    def test_md_scaling(self):
+        scaled = d2m_ns_r().with_md_scale(2)
+        assert scaled.md1.regions == 256
+        assert scaled.md2.regions == 8192
+        assert scaled.md3.regions == 32768
+        assert "2x" in scaled.name
+
+    def test_md_scaling_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            d2m_fs().with_md_scale(0)
+
+    def test_line_size_consistency_enforced(self):
+        with pytest.raises(ConfigError):
+            replace(base_2l(), l1d=CacheGeometry(32 * 1024, 8,
+                                                 line_size=128))

@@ -1,0 +1,68 @@
+"""Unit tests for the hierarchical statistics counters."""
+
+from repro.common.stats import StatGroup
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        g = StatGroup("g")
+        g.add("x")
+        g.add("x", 2.5)
+        assert g.get("x") == 3.5
+
+    def test_get_untouched_is_zero(self):
+        assert StatGroup().get("nothing") == 0.0
+
+    def test_set_overwrites(self):
+        g = StatGroup()
+        g.add("x", 5)
+        g.set("x", 1)
+        assert g.get("x") == 1
+
+    def test_ratio(self):
+        g = StatGroup()
+        g.add("hits", 3)
+        g.add("accesses", 4)
+        assert g.ratio("hits", "accesses") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert StatGroup().ratio("a", "b") == 0.0
+
+
+class TestChildren:
+    def test_child_is_cached(self):
+        g = StatGroup("root")
+        assert g.child("a") is g.child("a")
+
+    def test_total_recurses(self):
+        g = StatGroup("root")
+        g.add("n", 1)
+        g.child("a").add("n", 2)
+        g.child("a").child("b").add("n", 4)
+        assert g.total("n") == 7
+
+    def test_reset_recurses(self):
+        g = StatGroup()
+        g.add("n", 1)
+        g.child("a").add("n", 1)
+        g.reset()
+        assert g.total("n") == 0
+
+    def test_merge(self):
+        a = StatGroup("a")
+        a.add("x", 1)
+        a.child("sub").add("y", 2)
+        b = StatGroup("b")
+        b.add("x", 10)
+        b.child("sub").add("y", 20)
+        a.merge(b)
+        assert a.get("x") == 11
+        assert a.child("sub").get("y") == 22
+
+    def test_flatten_paths(self):
+        g = StatGroup("root")
+        g.add("x", 1)
+        g.child("a").add("y", 2)
+        flat = g.flatten()
+        assert flat["root.x"] == 1
+        assert flat["root.a.y"] == 2

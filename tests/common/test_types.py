@@ -1,0 +1,80 @@
+"""Unit tests for the fundamental value types."""
+
+import pytest
+
+from repro.common.types import (
+    Access,
+    AccessKind,
+    AccessResult,
+    CoherenceState,
+    HitLevel,
+)
+
+
+class TestAccessKind:
+    def test_ifetch_is_instruction(self):
+        assert AccessKind.IFETCH.is_instruction
+        assert not AccessKind.LOAD.is_instruction
+        assert not AccessKind.STORE.is_instruction
+
+    def test_store_is_write(self):
+        assert AccessKind.STORE.is_write
+        assert not AccessKind.LOAD.is_write
+        assert not AccessKind.IFETCH.is_write
+
+    def test_data_kinds(self):
+        assert AccessKind.LOAD.is_data
+        assert AccessKind.STORE.is_data
+        assert not AccessKind.IFETCH.is_data
+
+
+class TestAccess:
+    def test_fields_propagate(self):
+        acc = Access(3, AccessKind.STORE, 0x1234)
+        assert acc.core == 3
+        assert acc.is_write
+        assert not acc.is_instruction
+
+    def test_rejects_negative_core(self):
+        with pytest.raises(ValueError):
+            Access(-1, AccessKind.LOAD, 0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            Access(0, AccessKind.LOAD, -4)
+
+    def test_frozen(self):
+        acc = Access(0, AccessKind.LOAD, 0)
+        with pytest.raises(AttributeError):
+            acc.core = 1
+
+
+class TestCoherenceState:
+    def test_valid_states(self):
+        assert CoherenceState.MODIFIED.is_valid
+        assert CoherenceState.SHARED.is_valid
+        assert not CoherenceState.INVALID.is_valid
+
+    def test_writable_states(self):
+        assert CoherenceState.MODIFIED.can_write
+        assert CoherenceState.EXCLUSIVE.can_write
+        assert not CoherenceState.SHARED.can_write
+        assert not CoherenceState.INVALID.can_write
+
+
+class TestHitLevel:
+    def test_l1_and_late_are_not_misses(self):
+        assert not HitLevel.L1.is_l1_miss
+        assert not HitLevel.LATE.is_l1_miss
+
+    def test_everything_else_is_a_miss(self):
+        for level in (HitLevel.L2, HitLevel.LLC_LOCAL, HitLevel.LLC_REMOTE,
+                      HitLevel.REMOTE_NODE, HitLevel.MEMORY):
+            assert level.is_l1_miss
+
+
+class TestAccessResult:
+    def test_defaults(self):
+        result = AccessResult(HitLevel.L1, 2)
+        assert result.version == 0
+        assert result.private_region is None

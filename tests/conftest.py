@@ -1,0 +1,17 @@
+"""Pytest fixtures shared across the test suite."""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.core.hierarchy import build_hierarchy
+from tests.helpers import TraceDriver
+
+
+@pytest.fixture
+def driver_factory():
+    """Build a (config -> TraceDriver) factory for tests."""
+
+    def build(config: SystemConfig, seed: int = 0) -> TraceDriver:
+        return TraceDriver(build_hierarchy(config), seed=seed)
+
+    return build

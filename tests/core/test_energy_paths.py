@@ -1,0 +1,34 @@
+"""Energy-shape assertions: tag-less access is cheaper than tag search."""
+
+from tests.helpers import TraceDriver
+from repro.common.params import base_2l, d2m_fs
+from repro.core.hierarchy import build_hierarchy
+
+
+class TestEnergyShapes:
+    def test_l1_hit_energy_cheaper_in_d2m(self):
+        """Tag-less L1 + MD1 lookup vs 8-way tag search + TLB."""
+        def hit_energy(config):
+            driver = TraceDriver(build_hierarchy(config))
+            driver.load(0, 0x9000)
+            acct = driver.hierarchy.energy
+            before = acct.dynamic_pj(include_dram=False)
+            for _ in range(1000):
+                driver.load(0, 0x9000)
+            return acct.dynamic_pj(include_dram=False) - before
+        assert hit_energy(d2m_fs(1)) < hit_energy(base_2l(1))
+
+    def test_d2m_only_energy_is_separable(self):
+        driver = TraceDriver(build_hierarchy(d2m_fs(2)))
+        driver.random_burst(2000, cores=2)
+        acct = driver.hierarchy.energy
+        d2m_part = acct.dynamic_pj(d2m_only=True)
+        standard = acct.dynamic_pj(d2m_only=False, include_dram=False)
+        total = acct.dynamic_pj(include_dram=False)
+        assert d2m_part > 0
+        assert abs(total - (d2m_part + standard)) < 1e-6
+
+    def test_baseline_has_no_d2m_energy(self):
+        driver = TraceDriver(build_hierarchy(base_2l(2)))
+        driver.random_burst(1000, cores=2)
+        assert driver.hierarchy.energy.dynamic_pj(d2m_only=True) == 0

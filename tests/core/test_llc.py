@@ -1,0 +1,96 @@
+"""Unit tests for the far-side and near-side LLC organizations."""
+
+import pytest
+
+from tests.helpers import small_config
+from repro.common.errors import InvariantViolation
+from repro.common.params import d2m_fs, d2m_ns
+from repro.core.datastore import DataLine, LineRole
+from repro.core.li import LI
+from repro.core.llc import FarSideLLC, NearSideLLC, build_llc, llc_victim_cost
+
+
+def slot_for(line, region=None, role=LineRole.MASTER, tracked=None):
+    return DataLine(line, region if region is not None else line >> 4,
+                    1, False, role, rp=None, tracked_by_node=tracked)
+
+
+class TestFarSide:
+    def setup_method(self):
+        self.llc = FarSideLLC(small_config(d2m_fs(4)))
+
+    def test_resolve_roundtrip(self):
+        ref, occupant = self.llc.choose_allocation(0, 0x123, 0, None)
+        assert occupant is None
+        self.llc.fill(ref, slot_for(0x123))
+        li = self.llc.li_for(ref)
+        again = self.llc.resolve(li, 0x123, 0)
+        assert self.llc.expect(again, 0x123).line == 0x123
+
+    def test_endpoint_is_hub(self):
+        from repro.noc.topology import FAR_SIDE_HUB
+        ref, _ = self.llc.choose_allocation(0, 0x123, 0, None)
+        assert self.llc.endpoint(ref) == FAR_SIDE_HUB
+
+    def test_rejects_slice_li(self):
+        with pytest.raises(InvariantViolation):
+            self.llc.resolve(LI.in_slice(0, 0), 0, 0)
+
+    def test_region_iteration(self):
+        ref, _ = self.llc.choose_allocation(0, 0x123, 0, None)
+        self.llc.fill(ref, slot_for(0x123, region=9))
+        found = list(self.llc.lines_of_region(9))
+        assert len(found) == 1
+
+
+class TestNearSide:
+    def setup_method(self):
+        self.config = small_config(d2m_ns(4))
+        self.llc = NearSideLLC(self.config, seed=1)
+
+    def test_slice_endpoints(self):
+        ref, _ = self.llc.choose_allocation_in(2, 0x55, 0, None)
+        assert self.llc.endpoint(ref) == 2
+
+    def test_li_roundtrip(self):
+        ref, _ = self.llc.choose_allocation_in(1, 0x55, 0, None)
+        self.llc.fill(ref, slot_for(0x55))
+        li = self.llc.li_for(ref)
+        assert li.node == 1
+        assert self.llc.expect(self.llc.resolve(li, 0x55, 0), 0x55)
+
+    def test_balanced_pressure_allocates_locally(self):
+        for node in range(4):
+            assert self.llc.pick_slice(node) == node
+
+    def test_pressured_node_spills_remotely(self):
+        self.llc._pressures = [100, 0, 0, 0]
+        picks = [self.llc.pick_slice(0) for _ in range(2000)]
+        remote = sum(1 for p in picks if p != 0)
+        # 20% remote under the paper's 80/20 policy
+        assert 0.1 < remote / len(picks) < 0.3
+
+    def test_remote_spill_targets_least_pressured(self):
+        self.llc._pressures = [100, 50, 0, 50]
+        picks = {self.llc.pick_slice(0) for _ in range(2000)}
+        assert picks <= {0, 2}
+
+    def test_tick_windows(self):
+        fired = sum(self.llc.tick() for _ in range(
+            2 * self.config.policy.ns_pressure_window))
+        assert fired == 2
+
+
+class TestVictimCost:
+    def test_ordering(self):
+        cost = llc_victim_cost(lambda region: region == 1)
+        untracked = slot_for(0x10, region=1)
+        shared = slot_for(0x20, region=2)
+        node_tracked = slot_for(0x30, region=2, tracked=3)
+        assert cost(untracked) < cost(node_tracked) < cost(shared)
+
+
+class TestBuild:
+    def test_build_dispatch(self):
+        assert isinstance(build_llc(d2m_fs()), FarSideLLC)
+        assert isinstance(build_llc(d2m_ns()), NearSideLLC)

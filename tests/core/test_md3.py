@@ -1,0 +1,104 @@
+"""Unit tests for the MD3 store and the region locks."""
+
+import pytest
+
+from tests.helpers import small_config
+from repro.common.errors import InvariantViolation, ProtocolError
+from repro.common.params import d2m_fs, d2m_ns_r
+from repro.common.stats import StatGroup
+from repro.core.md3 import MD3Store, RegionLocks, region_scramble
+from repro.core.regions import RegionClass
+
+
+def make_store(config=None):
+    return MD3Store(config or small_config(d2m_fs(4)), StatGroup("md3"))
+
+
+class TestMD3Store:
+    def test_miss_then_create(self):
+        store = make_store()
+        assert store.lookup(5) is None
+        assert store.classification(5) is RegionClass.UNCACHED
+        entry = store.create(5)
+        assert store.peek(5) is entry
+        assert all(li.is_valid for li in entry.li)
+
+    def test_untracked_query(self):
+        store = make_store()
+        store.create(5)
+        assert store.is_untracked(5)
+        store.peek(5).pb.add(0)
+        assert not store.is_untracked(5)
+
+    def test_capacity_protects_tracked_regions(self):
+        config = small_config(d2m_fs(4))
+        store = make_store(config)
+        sets = config.md3.sets
+        regions = [i * sets for i in range(config.md3.ways)]
+        for region in regions:
+            store.create(region)
+        store.peek(regions[0]).pb.add(1)  # tracked: protected
+        victim = store.ensure_capacity(config.md3.ways * sets)
+        assert victim is not None
+        assert victim.pregion != regions[0]
+
+    def test_create_without_capacity_is_an_error(self):
+        config = small_config(d2m_fs(4))
+        store = make_store(config)
+        sets = config.md3.sets
+        for i in range(config.md3.ways):
+            store.create(i * sets)
+        with pytest.raises(InvariantViolation):
+            store.create(config.md3.ways * sets)
+
+    def test_scramble_zero_without_indexing(self):
+        store = make_store(small_config(d2m_fs(4)))
+        assert store.create(5).scramble == 0
+
+    def test_scramble_set_with_indexing(self):
+        store = make_store(small_config(d2m_ns_r(4)))
+        scrambles = {store.create(region).scramble for region in range(40)}
+        assert len(scrambles) > 1  # actually varies by region
+
+
+class TestRegionScramble:
+    def test_deterministic(self):
+        assert region_scramble(123, 4) == region_scramble(123, 4)
+
+    def test_bounded(self):
+        for region in range(100):
+            assert 0 <= region_scramble(region, 4) < 16
+
+    def test_zero_bits(self):
+        assert region_scramble(99, 0) == 0
+
+
+class TestRegionLocks:
+    def test_acquire_release(self):
+        locks = RegionLocks(64, StatGroup())
+        token = locks.acquire(5)
+        assert locks.held(5)
+        locks.release(token)
+        assert not locks.held(5)
+
+    def test_double_acquire_rejected(self):
+        locks = RegionLocks(64, StatGroup())
+        locks.acquire(5)
+        with pytest.raises(ProtocolError):
+            locks.acquire(5)
+
+    def test_release_unheld_rejected(self):
+        locks = RegionLocks(64, StatGroup())
+        with pytest.raises(ProtocolError):
+            locks.release(3)
+
+    def test_pow2_required(self):
+        with pytest.raises(InvariantViolation):
+            RegionLocks(100, StatGroup())
+
+    def test_counters(self):
+        stats = StatGroup()
+        locks = RegionLocks(64, stats)
+        locks.release(locks.acquire(9))
+        assert stats.get("acquires") == 1
+        assert stats.get("releases") == 1

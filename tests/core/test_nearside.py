@@ -1,0 +1,114 @@
+"""Tests for the near-side LLC, replication, and dynamic indexing."""
+
+import pytest
+
+from tests.helpers import TraceDriver
+from repro.common.params import d2m_ns, d2m_ns_r
+from repro.common.types import HitLevel
+from repro.core.hierarchy import build_hierarchy
+
+
+@pytest.fixture
+def ns():
+    return TraceDriver(build_hierarchy(d2m_ns(4)))
+
+
+@pytest.fixture
+def nsr():
+    return TraceDriver(build_hierarchy(d2m_ns_r(4)))
+
+
+def evict_l1(driver, core, base, stores=False):
+    cfg = driver.hierarchy.config
+    span = cfg.l1d.sets * cfg.line_size
+    for i in range(1, cfg.l1d.ways + 2):
+        if stores:
+            driver.store(core, base + i * span)
+        else:
+            driver.load(core, base + i * span)
+
+
+class TestNearSidePlacement:
+    def test_private_refill_hits_local_slice(self, ns):
+        ns.store(0, 0x0)
+        evict_l1(ns, 0, 0, stores=True)
+        out = ns.load(0, 0x0)
+        assert out.level is HitLevel.LLC_LOCAL
+        assert out.version == 1
+
+    def test_local_slice_hit_sends_no_messages(self, ns):
+        ns.store(0, 0x0)
+        evict_l1(ns, 0, 0, stores=True)
+        msgs = ns.hierarchy.network.total_messages
+        out = ns.load(0, 0x0)
+        assert out.level is HitLevel.LLC_LOCAL
+        assert ns.hierarchy.network.total_messages == msgs
+
+    def test_local_hit_is_fast(self, ns):
+        ns.store(0, 0x0)
+        evict_l1(ns, 0, 0, stores=True)
+        local = ns.load(0, 0x0).latency
+        # a far-side access pays at least two NoC traversals on top
+        assert local < 2 * ns.hierarchy.config.latency.noc
+
+    def test_remote_slice_read(self, ns):
+        # node 1 reads data whose LLC master sits in node 0's slice
+        ns.load(1, 0x40)          # region metadata at node 1 (stale MEM ok)
+        ns.load(0, 0x0)           # global master fills a slice
+        out = ns.load(1, 0x0)
+        assert out.level in (HitLevel.LLC_REMOTE, HitLevel.LLC_LOCAL,
+                             HitLevel.MEMORY)
+
+
+class TestReplication:
+    def test_instruction_replication_localizes(self, nsr):
+        cfg = nsr.hierarchy.config
+        code = 0x800000
+        # node 0 makes the region private, node 1 shares it and its
+        # memory fill creates the global LLC master (in some slice);
+        # node 2's fetch is then served from a remote slice and the
+        # always-replicate-instructions heuristic copies it locally.
+        nsr.ifetch(0, code)
+        nsr.ifetch(1, code)
+        nsr.ifetch(2, code)
+        assert nsr.hierarchy.stats.get("ns.replications") >= 1
+        # flush node 2's whole L1-I (dynamic indexing defeats the usual
+        # same-set trick) and re-fetch: the local replica serves it.
+        lines = cfg.l1i.lines
+        for i in range(1, 2 * lines + 1):
+            nsr.ifetch(2, code + 0x100000 + i * cfg.line_size)
+        out = nsr.ifetch(2, code)
+        assert out.level is HitLevel.LLC_LOCAL
+
+    def test_plain_ns_does_not_replicate(self, ns):
+        code = 0x800000
+        ns.ifetch(0, code)
+        ns.ifetch(1, code)
+        assert ns.hierarchy.stats.get("ns.replications") == 0
+
+
+class TestDynamicIndexing:
+    def test_scramble_defeats_power_of_two_conflicts(self):
+        plain = TraceDriver(build_hierarchy(d2m_ns(1)))
+        scrambled = TraceDriver(build_hierarchy(d2m_ns_r(1)))
+        cfg = plain.hierarchy.config
+        stride = cfg.l1d.sets * cfg.line_size  # all map to one plain set
+        lines = [i * stride for i in range(cfg.l1d.ways * 3)]
+        for driver in (plain, scrambled):
+            for _lap in range(4):
+                for vaddr in lines:
+                    driver.load(0, vaddr)
+        def l1_misses(driver):
+            return driver.hierarchy.stats.get("l1.d.misses")
+        # the scrambled index spreads the stride across sets
+        assert l1_misses(scrambled) < l1_misses(plain)
+
+
+class TestPressureAccounting:
+    def test_pressure_messages_counted(self, ns):
+        from repro.noc.messages import MessageKind
+        window = ns.hierarchy.config.policy.ns_pressure_window
+        for i in range(window + 10):
+            ns.load(0, 0x40000 + (i % 64) * 64)
+        assert ns.hierarchy.network.messages_of(
+            MessageKind.PRESSURE_SHARE) >= 1

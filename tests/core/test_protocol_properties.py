@@ -1,0 +1,67 @@
+"""Hypothesis-driven protocol properties.
+
+Random structured operation sequences (not just uniform traces) hunting
+for corner cases: mixed I/D access to the same region, ownership
+ping-pong, and cross-config result agreement (the observed values must
+not depend on which hierarchy serves them).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.helpers import TraceDriver, small_config
+from repro.common.params import base_2l, d2m_fs, d2m_ns_r
+from repro.common.types import AccessKind
+from repro.core.hierarchy import build_hierarchy
+from repro.core.invariants import check_invariants
+
+_KINDS = (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE)
+
+# Operations concentrated on few regions to maximize interaction.
+op_strategy = st.tuples(
+    st.integers(0, 3),              # core
+    st.sampled_from(_KINDS),        # kind
+    st.integers(0, 3),              # region choice (tiny pool)
+    st.integers(0, 15),             # line within region
+)
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def _drive(driver: TraceDriver, ops) -> list:
+    observed = []
+    for core, kind, region, line in ops:
+        vaddr = 0x10_0000 + region * 1024 + line * 64
+        if kind is AccessKind.IFETCH:
+            vaddr += 0x10_0000  # instruction pool kept disjoint from data
+            kind_used = AccessKind.IFETCH
+        else:
+            kind_used = kind
+        result = driver.access(core, kind_used, vaddr)
+        observed.append(result.version)
+    return observed
+
+
+@SETTINGS
+@given(st.lists(op_strategy, min_size=1, max_size=150))
+def test_d2m_invariants_hold_under_contention(ops):
+    driver = TraceDriver(build_hierarchy(small_config(d2m_fs(4))))
+    _drive(driver, ops)  # TraceDriver's oracle checks every load
+    check_invariants(driver.hierarchy.protocol)
+
+
+@SETTINGS
+@given(st.lists(op_strategy, min_size=1, max_size=120))
+def test_ns_r_invariants_hold_under_contention(ops):
+    driver = TraceDriver(build_hierarchy(small_config(d2m_ns_r(4))))
+    _drive(driver, ops)
+    check_invariants(driver.hierarchy.protocol)
+
+
+@SETTINGS
+@given(st.lists(op_strategy, min_size=1, max_size=100))
+def test_observed_values_agree_across_hierarchies(ops):
+    """Base-2L and D2M must observe identical version sequences."""
+    base = TraceDriver(build_hierarchy(small_config(base_2l(4))))
+    d2m = TraceDriver(build_hierarchy(small_config(d2m_fs(4))))
+    assert _drive(base, ops) == _drive(d2m, ops)

@@ -1,0 +1,50 @@
+"""Unit tests for the metadata entry types."""
+
+import pytest
+
+from repro.core.li import LI
+from repro.core.regions import (
+    ActiveSite,
+    MD1Entry,
+    MD2Entry,
+    MD3Entry,
+    RegionClass,
+    fresh_li_array,
+)
+
+
+class TestRegionClass:
+    def test_table2_mapping(self):
+        assert RegionClass.of(0) is RegionClass.UNTRACKED
+        assert RegionClass.of(1) is RegionClass.PRIVATE
+        assert RegionClass.of(2) is RegionClass.SHARED
+        assert RegionClass.of(8) is RegionClass.SHARED
+
+
+class TestEntries:
+    def test_md1_requires_li(self):
+        with pytest.raises(ValueError):
+            MD1Entry(vregion=0, pregion=0, private=True, li=[])
+
+    def test_md2_tracking_pointer(self):
+        entry = MD2Entry(pregion=1, private=False, li=fresh_li_array(16))
+        assert not entry.md1_active
+        entry.active_in = ActiveSite.MD1D
+        entry.tp_vregion = 42
+        assert entry.md1_active
+
+    def test_md3_classification(self):
+        entry = MD3Entry(pregion=1, li=[LI.mem()] * 16)
+        assert entry.classification is RegionClass.UNTRACKED
+        entry.pb.add(3)
+        assert entry.is_private
+        assert entry.sole_owner() == 3
+        entry.pb.add(4)
+        assert entry.classification is RegionClass.SHARED
+        with pytest.raises(ValueError):
+            entry.sole_owner()
+
+    def test_fresh_li_array(self):
+        arr = fresh_li_array(16)
+        assert len(arr) == 16
+        assert all(not li.is_valid for li in arr)

@@ -1,0 +1,65 @@
+"""The generic three-level D2M machine (Figure 2)."""
+
+import pytest
+
+from tests.helpers import TraceDriver
+from repro.common.params import d2m_3l, d2m_fs
+from repro.common.types import HitLevel
+from repro.core.hierarchy import build_hierarchy
+from repro.core.invariants import check_invariants
+
+
+@pytest.fixture
+def three_level():
+    return TraceDriver(build_hierarchy(d2m_3l(4)))
+
+
+class TestThreeLevelD2M:
+    def test_l1_victims_move_into_the_l2(self, three_level):
+        cfg = three_level.hierarchy.config
+        three_level.load(0, 0x0)
+        span = cfg.l1d.sets * cfg.line_size
+        for i in range(1, cfg.l1d.ways + 2):
+            three_level.load(0, i * span)
+        out = three_level.load(0, 0x0)
+        assert out.level is HitLevel.L2
+
+    def test_l2_hit_moves_the_line_back_up(self, three_level):
+        self.test_l1_victims_move_into_the_l2(three_level)
+        assert three_level.load(0, 0x0).level is HitLevel.L1
+
+    def test_li_tracks_the_level_change(self, three_level):
+        from repro.core.li import LIKind
+        cfg = three_level.hierarchy.config
+        three_level.load(0, 0x0)
+        paddr = three_level.space.translate(0x0)
+        region = three_level.hierarchy.amap.region_of(paddr)
+        idx = three_level.hierarchy.amap.line_in_region(paddr)
+        node = three_level.hierarchy.nodes[0]
+        assert node.li_of(region, idx).kind is LIKind.L1
+        span = cfg.l1d.sets * cfg.line_size
+        for i in range(1, cfg.l1d.ways + 2):
+            three_level.load(0, i * span)
+        assert node.li_of(region, idx).kind is LIKind.L2
+
+    def test_dirty_master_survives_two_levels_of_eviction(self, three_level):
+        cfg = three_level.hierarchy.config
+        three_level.store(0, 0x0)
+        span = cfg.l1d.sets * cfg.line_size
+        # push through L1 into L2 and out of L2 into the LLC
+        for i in range(1, cfg.l1d.ways * 3):
+            three_level.store(0, i * span)
+        assert three_level.load(1, 0x0).version == 1
+        check_invariants(three_level.hierarchy.protocol)
+
+    def test_oracle_and_invariants_under_random_load(self, three_level):
+        three_level.random_burst(8000, cores=4)
+        check_invariants(three_level.hierarchy.protocol)
+
+    def test_l2_filters_llc_traffic(self):
+        two = TraceDriver(build_hierarchy(d2m_fs(2)), seed=71)
+        three = TraceDriver(build_hierarchy(d2m_3l(2)), seed=71)
+        for driver in (two, three):
+            driver.random_burst(6000, cores=2, private_bytes=1 << 18)
+        assert (three.hierarchy.network.total_messages
+                <= two.hierarchy.network.total_messages)

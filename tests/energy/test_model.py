@@ -1,0 +1,90 @@
+"""Unit tests for the analytic energy model."""
+
+import pytest
+
+from repro.common.stats import StatGroup
+from repro.energy.model import (
+    DRAM_ACCESS_PJ,
+    EnergyAccountant,
+    sram_structure,
+)
+
+
+class TestStructureShapes:
+    def test_parallel_read_costs_more_than_way_predicted(self):
+        full = sram_structure("full", 32 * 1024, 8.0, 8.0)
+        predicted = sram_structure("pred", 32 * 1024, 1.0, 8.0)
+        tagless = sram_structure("tagless", 32 * 1024, 1.0, 0.0)
+        assert full.read_pj > predicted.read_pj > tagless.read_pj
+
+    def test_bigger_banks_cost_more(self):
+        small = sram_structure("s", 32 * 1024, 1.0, 0.0)
+        big = sram_structure("b", 8 * 1024 * 1024, 1.0, 0.0)
+        assert big.read_pj > small.read_pj
+        assert big.leak_mw > small.leak_mw
+
+    def test_dram_dwarfs_sram(self):
+        l1 = sram_structure("l1", 32 * 1024, 8.0, 8.0)
+        assert DRAM_ACCESS_PJ > 100 * l1.read_pj
+
+    def test_static_energy_scales_with_time(self):
+        s = sram_structure("s", 1024 * 1024, 1.0, 0.0)
+        assert s.static_pj(2000) == pytest.approx(2 * s.static_pj(1000))
+
+
+class TestAccountant:
+    def make(self):
+        acct = EnergyAccountant(StatGroup("energy"))
+        acct.register(sram_structure("l1", 32 * 1024, 1.0, 8.0))
+        acct.register(sram_structure("md1", 4096, 1.0, 8.0, d2m_only=True))
+        return acct
+
+    def test_double_registration_rejected(self):
+        acct = self.make()
+        with pytest.raises(ValueError):
+            acct.register(sram_structure("l1", 1024, 1.0, 1.0))
+
+    def test_charges_accumulate(self):
+        acct = self.make()
+        acct.charge_read("l1", 3)
+        assert acct.reads_of("l1") == 3
+        assert acct.structure_pj("l1") > 0
+
+    def test_d2m_split(self):
+        acct = self.make()
+        acct.charge_read("l1")
+        acct.charge_read("md1")
+        total = acct.dynamic_pj()
+        d2m = acct.dynamic_pj(d2m_only=True)
+        standard = acct.dynamic_pj(d2m_only=False)
+        assert total == pytest.approx(d2m + standard)
+        assert d2m > 0
+
+    def test_dram_included_and_excludable(self):
+        acct = self.make()
+        acct.charge_dram(2)
+        assert acct.dynamic_pj() == pytest.approx(2 * DRAM_ACCESS_PJ)
+        assert acct.dynamic_pj(include_dram=False) == 0
+
+    def test_raw_charges(self):
+        acct = self.make()
+        acct.charge_raw("noc", 123.0)
+        assert acct.dynamic_pj(include_dram=False) == pytest.approx(123.0)
+
+    def test_reset(self):
+        acct = self.make()
+        acct.charge_read("l1")
+        acct.charge_dram()
+        acct.reset()
+        assert acct.dynamic_pj() == 0
+
+    def test_flush_writes_stats(self):
+        acct = self.make()
+        acct.charge_read("l1", 2)
+        acct.flush()
+        assert acct.stats.get("l1.reads") == 2
+        assert acct.stats.get("l1.dynamic_pj") > 0
+
+    def test_total_includes_static(self):
+        acct = self.make()
+        assert acct.total_pj(cycles=10_000) > 0

@@ -1,0 +1,24 @@
+"""Tests for the experiment sweep disk cache."""
+
+from repro.common.params import base_2l
+from repro.experiments.runner import get_matrix
+
+
+class TestDiskCache:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_FRESH", raising=False)
+        first = get_matrix(workloads=["water"], configs=[base_2l(2)],
+                           instructions=1_000, seed=5, quiet=True)
+        assert list(tmp_path.glob("matrix-*.json"))
+        second = get_matrix(workloads=["water"], configs=[base_2l(2)],
+                            instructions=1_000, seed=5, quiet=True)
+        assert second["water"]["Base-2L"] == first["water"]["Base-2L"]
+
+    def test_key_isolation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        get_matrix(workloads=["water"], configs=[base_2l(2)],
+                   instructions=1_000, seed=5, quiet=True)
+        get_matrix(workloads=["water"], configs=[base_2l(2)],
+                   instructions=1_500, seed=5, quiet=True)
+        assert len(list(tmp_path.glob("matrix-*.json"))) == 2

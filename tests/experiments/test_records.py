@@ -1,0 +1,36 @@
+"""Tests for RunRecord serialization and construction."""
+
+from repro.common.params import base_2l, d2m_ns_r
+from repro.experiments.records import RunRecord, record_from_outcome
+from repro.sim.runner import run_workload
+
+
+class TestRoundtrip:
+    def test_json_roundtrip(self):
+        rec = RunRecord(workload="w", category="HPC", config="Base-2L",
+                        instructions=100, msgs_per_ki=1.5,
+                        events={"A": 2.0})
+        again = RunRecord.from_json(rec.to_json())
+        assert again == rec
+
+
+class TestFromOutcome:
+    def test_baseline_record(self):
+        out = run_workload(base_2l(4), "water", instructions=2_000, seed=4)
+        rec = record_from_outcome(out, "HPC")
+        assert rec.config == "Base-2L"
+        assert rec.category == "HPC"
+        assert rec.instructions == 2_000
+        assert rec.msgs_per_ki > 0
+        assert rec.d2m_msgs_per_ki == 0  # baselines send no D2M traffic
+        assert 0 <= rec.l1d_miss <= 1
+        assert rec.cycles > 0
+        assert rec.edp > 0
+
+    def test_d2m_record_has_events(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4)
+        rec = record_from_outcome(out, "HPC")
+        assert rec.events  # A/B/C/D populated
+        assert rec.md1_hits > 0
+        assert 0 <= rec.direct_ns_fraction <= 1
+        assert rec.edp_d2m_share > 0

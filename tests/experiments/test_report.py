@@ -1,0 +1,21 @@
+"""Tests for the per-run breakdown report."""
+
+from repro.common.params import base_2l, d2m_ns_r
+from repro.experiments.report import full_report
+
+
+class TestFullReport:
+    def test_d2m_report_sections(self, capsys):
+        full_report(d2m_ns_r(2), "water", instructions=2_000, seed=2)
+        out = capsys.readouterr().out
+        for section in ("Access outcomes", "Energy by structure",
+                        "Traffic by message kind", "Protocol events"):
+            assert section in out
+        assert "md1" in out          # D2M structures listed
+        assert "MEM_READ" in out     # message kinds listed
+
+    def test_baseline_report_has_no_protocol_section(self, capsys):
+        full_report(base_2l(2), "water", instructions=2_000, seed=2)
+        out = capsys.readouterr().out
+        assert "Protocol events" not in out
+        assert "llc_tagdir" in out

@@ -1,0 +1,22 @@
+"""Tests for the structural tables (I-III)."""
+
+from repro.experiments.structural_tables import table1, table2, table3
+
+
+class TestTables:
+    def test_table1_contains_all_encodings(self):
+        out = table1()
+        for token in ("Node5", "L1D[3]", "L1I[3]", "L2[6]", "MEM",
+                      "LLC[21]", "LLC5[2]"):
+            assert token in out
+
+    def test_table2_lists_all_classes(self):
+        out = table2()
+        for token in ("uncached", "untracked", "private", "shared"):
+            assert token in out
+
+    def test_table3_lists_all_systems(self):
+        out = table3()
+        for token in ("Base-2L", "Base-3L", "D2M-FS", "D2M-NS", "D2M-NS-R",
+                      "near-side", "far-side"):
+            assert token in out

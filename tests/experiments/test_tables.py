@@ -1,0 +1,22 @@
+"""Tests for the ASCII table renderer."""
+
+from repro.experiments.tables import pct, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(["name", "value"], [["a", 1.0], ["bb", 22.5]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert out.count("\n") >= 4
+
+    def test_number_formats(self):
+        out = render_table(["n"], [[0.1234], [12.3], [1234.5]])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1235" in out or "1234" in out
+
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"

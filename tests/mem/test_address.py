@@ -1,0 +1,107 @@
+"""Unit + property tests for address math and address spaces."""
+
+from hypothesis import given, strategies as st
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.address import AddressMap, AddressSpace, PageAllocator
+
+
+class TestAddressMap:
+    def setup_method(self):
+        self.amap = AddressMap(line_size=64, region_lines=16, page_size=4096)
+
+    def test_line_of(self):
+        assert self.amap.line_of(0) == 0
+        assert self.amap.line_of(63) == 0
+        assert self.amap.line_of(64) == 1
+
+    def test_region_of(self):
+        assert self.amap.region_of(1023) == 0
+        assert self.amap.region_of(1024) == 1
+
+    def test_line_in_region(self):
+        assert self.amap.line_in_region(0) == 0
+        assert self.amap.line_in_region(64 * 15) == 15
+        assert self.amap.line_in_region(1024) == 0
+
+    def test_compose_line_of_region(self):
+        for region in (0, 7, 1234):
+            for idx in (0, 5, 15):
+                line = self.amap.line_of_region(region, idx)
+                assert self.amap.region_of_line(line) == region
+                assert self.amap.line_index_in_region(line) == idx
+
+    def test_line_of_region_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            self.amap.line_of_region(0, 16)
+
+    def test_region_must_fit_page(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=64, region_lines=128, page_size=4096)
+
+    def test_rejects_nonpow2(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=48)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_decomposition_consistent(self, addr):
+        line = self.amap.line_of(addr)
+        assert self.amap.region_of(addr) == self.amap.region_of_line(line)
+        assert (self.amap.line_in_region(addr)
+                == self.amap.line_index_in_region(line))
+        assert self.amap.line_addr(line) <= addr < self.amap.line_addr(line + 1)
+
+
+class TestAddressSpace:
+    def test_translation_stable(self):
+        space = AddressSpace(AddressMap(), asid=0)
+        a = space.translate(0x12345)
+        assert space.translate(0x12345) == a
+
+    def test_offset_preserved(self):
+        amap = AddressMap()
+        space = AddressSpace(amap, asid=0)
+        paddr = space.translate(0x12345)
+        assert paddr & (amap.page_size - 1) == 0x345
+
+    def test_distinct_spaces_do_not_collide(self):
+        allocator = PageAllocator()
+        amap = AddressMap()
+        a = AddressSpace(amap, asid=1, allocator=allocator)
+        b = AddressSpace(amap, asid=2, allocator=allocator)
+        pa = a.translate(0x4000)
+        pb = b.translate(0x4000)
+        assert amap.page_of(pa) != amap.page_of(pb)
+
+    def test_same_space_shares_pages(self):
+        space = AddressSpace(AddressMap(), asid=0)
+        amap = space.amap
+        p1 = space.translate(0x4000)
+        p2 = space.translate(0x4100)
+        assert amap.page_of(p1) == amap.page_of(p2)
+
+    def test_mapped_pages_counter(self):
+        space = AddressSpace(AddressMap(), asid=0)
+        space.translate(0)
+        space.translate(4096)
+        space.translate(100)  # same page as 0
+        assert space.mapped_pages == 2
+
+
+class TestPageAllocator:
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 10_000)),
+                    min_size=1, max_size=200))
+    def test_unique_pages(self, requests):
+        allocator = PageAllocator()
+        seen = {}
+        for asid, vpage in requests:
+            ppage = allocator.allocate(asid, vpage)
+            key = (asid, vpage)
+            if key in seen:
+                assert seen[key] == ppage  # idempotent
+            else:
+                assert ppage not in seen.values() or \
+                    list(seen.values()).count(ppage) == 0
+                seen[key] = ppage
+        assert len(set(seen.values())) == len(seen)

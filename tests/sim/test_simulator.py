@@ -1,0 +1,110 @@
+"""Unit tests for the simulation driver: warmup, MSHR, recording."""
+
+from repro.common.params import base_2l, d2m_fs
+from repro.common.types import Access, AccessKind, HitLevel
+from repro.core.hierarchy import build_hierarchy
+from repro.sim.simulator import LatencyBucket, Simulator
+from repro.workloads.registry import make_workload
+
+
+class _ScriptedWorkload:
+    """Replays a fixed access list (one core)."""
+
+    def __init__(self, accesses, hierarchy):
+        from repro.mem.address import AddressSpace, PageAllocator
+        self._accesses = accesses
+        self._space = AddressSpace(hierarchy.amap, 0, PageAllocator())
+
+    def translate(self, core, vaddr):
+        return self._space.translate(vaddr)
+
+    def generate(self, n_instructions, seed):
+        issued = 0
+        for acc in self._accesses:
+            if acc.is_instruction:
+                if issued >= n_instructions:
+                    return
+                issued += 1
+            yield acc
+
+
+def ifetch(addr):
+    return Access(0, AccessKind.IFETCH, addr)
+
+
+def load(addr):
+    return Access(0, AccessKind.LOAD, addr)
+
+
+class TestLatencyBucket:
+    def test_mean(self):
+        b = LatencyBucket()
+        b.add(10)
+        b.add(20)
+        assert b.mean == 15
+        assert LatencyBucket().mean == 0.0
+
+
+class TestMSHR:
+    def test_hit_under_miss_is_late(self):
+        h = build_hierarchy(base_2l(1))
+        # two loads of the same cold line back-to-back: the second one
+        # arrives while the first miss is outstanding
+        trace = [ifetch(0x100), load(0x8000), ifetch(0x110), load(0x8008)]
+        sim = Simulator(h)
+        result = sim.run(_ScriptedWorkload(trace, h), n_instructions=2)
+        assert result.bucket(False, HitLevel.MEMORY).count == 1
+        late = result.bucket(False, HitLevel.LATE)
+        assert late.count == 1
+        assert 0 < late.mean < result.bucket(False, HitLevel.MEMORY).mean
+
+    def test_hit_after_completion_is_plain(self):
+        h = build_hierarchy(base_2l(1))
+        # 400 instructions of spacing let the miss complete
+        trace = [load(0x8000)] + [ifetch(0x100 + 16 * i)
+                                  for i in range(400)] + [load(0x8008)]
+        sim = Simulator(h)
+        result = sim.run(_ScriptedWorkload([ifetch(0x100)] + trace, h),
+                         n_instructions=401)
+        assert result.bucket(False, HitLevel.LATE).count == 0
+        assert result.bucket(False, HitLevel.L1).count == 1
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_metrics(self):
+        h = build_hierarchy(base_2l(4))
+        workload = make_workload("swaptions", 4, h.amap, seed=3)
+        result = Simulator(h).run(workload, 2_000, seed=3, warmup=2_000)
+        assert result.instructions == 2_000
+        total_stats = (h.stats.get("l1.i.accesses")
+                       + h.stats.get("l1.d.accesses"))
+        assert total_stats == result.accesses  # warm-up was reset away
+
+    def test_warmup_lowers_miss_ratio(self):
+        def run(warmup):
+            h = build_hierarchy(base_2l(4))
+            workload = make_workload("swaptions", 4, h.amap, seed=3)
+            return Simulator(h).run(workload, 3_000, seed=3,
+                                    warmup=warmup).miss_ratio(False)
+        assert run(6_000) < run(0)
+
+
+class TestValueChecking:
+    def test_oracle_runs_on_d2m(self):
+        h = build_hierarchy(d2m_fs(4))
+        workload = make_workload("water", 4, h.amap, seed=5)
+        result = Simulator(h, check_values=True).run(workload, 3_000, seed=5)
+        assert result.instructions == 3_000
+
+
+class TestDerivedMetrics:
+    def test_ratios_consistent(self):
+        h = build_hierarchy(base_2l(4))
+        workload = make_workload("bodytrack", 4, h.amap, seed=7)
+        result = Simulator(h).run(workload, 4_000, seed=7, warmup=2_000)
+        for instr in (True, False):
+            assert 0 <= result.miss_ratio(instr) <= 1
+            assert 0 <= result.late_hit_ratio(instr) <= 1
+        assert result.avg_miss_latency() > 0
+        assert result.count_where(instr=True) + result.count_where(
+            instr=False) == result.accesses

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "D2M-NS-R" in out
+        assert "tpcc" in out
+        assert "fig7" in out
+
+
+class TestRun:
+    def test_runs_and_prints_summary(self, capsys):
+        assert main(["run", "--config", "base-2l", "--workload", "water",
+                     "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "water on Base-2L" in out
+        assert "L1-D miss ratio" in out
+
+    def test_d2m_summary_has_extra_rows(self, capsys):
+        assert main(["run", "--config", "d2m-ns-r", "--workload", "water",
+                     "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "private misses" in out
+        assert "NS hits" in out
+
+    def test_unknown_config_rejected(self, capsys):
+        assert main(["run", "--config", "nope", "--workload", "water"]) == 2
+
+    def test_unknown_workload_rejected(self):
+        assert main(["run", "--config", "base-2l",
+                     "--workload", "nope"]) == 2
+
+
+class TestReport:
+    def test_structural_tables(self, capsys):
+        assert main(["report", "tables"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_artifact(self):
+        assert main(["report", "nope"]) == 2
+
+    def test_every_artifact_is_mapped(self):
+        import importlib
+        for module_name in ARTIFACTS.values():
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}")
+            assert hasattr(module, "main")
+
+
+class TestSweep:
+    def test_sweep_small(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--workloads", "water",
+                     "--instructions", "1200"]) == 0
+        assert "matrix ready" in capsys.readouterr().out
+
+    def test_sweep_rejects_typo(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with pytest.raises(KeyError):
+            main(["sweep", "--workloads", "watr"])

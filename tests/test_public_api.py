@@ -1,0 +1,33 @@
+"""The public package surface stays importable and coherent."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_factory_names_match_table3(self):
+        names = [c.name for c in repro.all_configs()]
+        assert names == ["Base-2L", "Base-3L", "D2M-FS", "D2M-NS",
+                         "D2M-NS-R"]
+
+    def test_workload_names_nonempty(self):
+        assert len(repro.workload_names()) >= 25
+
+    def test_build_hierarchy_dispatch(self):
+        assert isinstance(repro.build_hierarchy(repro.base_2l(2)),
+                          repro.BaselineHierarchy)
+        assert isinstance(repro.build_hierarchy(repro.d2m_fs(2)),
+                          repro.D2MHierarchy)
+
+    def test_readme_quickstart_runs(self):
+        base = repro.run_workload(repro.base_2l(2), "water",
+                                  instructions=1_000)
+        d2m = repro.run_workload(repro.d2m_ns_r(2), "water",
+                                 instructions=1_000)
+        assert base.perf.cycles > 0 and d2m.perf.cycles > 0

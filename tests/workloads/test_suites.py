@@ -1,0 +1,60 @@
+"""Tests for the named workload suites and registry."""
+
+import pytest
+
+from repro.workloads.registry import (
+    CATEGORIES,
+    get_spec,
+    make_workload,
+    workload_names,
+    workloads_by_category,
+)
+
+
+class TestRegistry:
+    def test_five_categories(self):
+        groups = workloads_by_category()
+        assert list(groups) == list(CATEGORIES)
+        for category, names in groups.items():
+            assert names, category
+
+    def test_paper_workloads_present(self):
+        names = set(workload_names())
+        for required in ("canneal", "streamcluster", "lu", "fft", "tpcc",
+                         "mix1", "mix4", "cnn", "wikipedia", "barnes"):
+            assert required in names
+
+    def test_roughly_paper_sized_sweep(self):
+        assert len(workload_names()) >= 25
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("doom")
+
+    def test_category_filter(self):
+        assert all(get_spec(n).category == "Mobile"
+                   for n in workload_names("Mobile"))
+
+
+class TestSpecShapes:
+    def test_server_mixes_are_multiprogrammed(self):
+        for name in workload_names("Server"):
+            assert not get_spec(name).shared_space
+
+    def test_parallel_suites_share_memory(self):
+        for name in workload_names("Parallel"):
+            assert get_spec(name).shared_space
+
+    def test_database_has_biggest_code(self):
+        tpcc = get_spec("tpcc").code.footprint
+        assert tpcc >= max(get_spec(n).code.footprint
+                           for n in workload_names("Parallel"))
+
+    def test_every_workload_generates(self):
+        from repro.mem.address import AddressMap
+        for name in workload_names():
+            workload = make_workload(name, 2, AddressMap(), seed=1)
+            accesses = list(workload.generate(50, seed=1))
+            assert len(accesses) >= 50, name
+            for acc in accesses:
+                workload.translate(acc.core, acc.vaddr)

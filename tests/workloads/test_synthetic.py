@@ -1,0 +1,134 @@
+"""Unit + property tests for the data-stream primitives."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.synthetic import (
+    HotLineStream,
+    PointerChaseStream,
+    ProducerConsumerStream,
+    RandomStream,
+    SequentialStream,
+    StencilStream,
+    StridedStream,
+    ZipfStream,
+)
+
+
+def drain(stream, n=500, seed=1):
+    rng = random.Random(seed)
+    return [stream.next_op(rng) for _ in range(n)]
+
+
+class TestSequential:
+    def test_stays_in_bounds(self):
+        ops = drain(SequentialStream(0x1000, 256, stride=16))
+        assert all(0x1000 <= a < 0x1100 for a, _w in ops)
+
+    def test_wraps_around(self):
+        ops = drain(SequentialStream(0, 64, stride=16), n=8)
+        assert ops[4][0] == ops[0][0]
+
+    def test_write_fraction_zero(self):
+        assert not any(w for _a, w in drain(
+            SequentialStream(0, 1024, write_frac=0.0)))
+
+
+class TestStrided:
+    def test_power_of_two_stride(self):
+        ops = drain(StridedStream(0, 1 << 20, stride=1 << 16), n=16)
+        deltas = {(b - a) % (1 << 20)
+                  for (a, _), (b, _) in zip(ops, ops[1:])}
+        assert (1 << 16) in deltas
+
+    def test_offset_shifts_between_sweeps(self):
+        stream = StridedStream(0, 1 << 12, stride=1 << 10)
+        first_sweep = drain(stream, n=4)
+        second_sweep = drain(stream, n=4)
+        assert first_sweep[0][0] != second_sweep[0][0]
+
+
+class TestRandom:
+    def test_run_fields_are_adjacent(self):
+        ops = drain(RandomStream(0, 1 << 20, run_ops=3, run_step=16), n=9)
+        # within each run of 3 the addresses step by 16
+        for i in range(0, 9, 3):
+            assert ops[i + 1][0] == ops[i][0] + 16
+            assert ops[i + 2][0] == ops[i][0] + 32
+
+
+class TestZipf:
+    def test_skew(self):
+        stream = ZipfStream(0, 1 << 16, granule=256, alpha=1.0, run_ops=1)
+        counts = {}
+        for addr, _w in drain(stream, n=4000):
+            counts[addr] = counts.get(addr, 0) + 1
+        top = max(counts.values())
+        assert top > 4000 / len(counts) * 3  # clearly non-uniform
+
+    def test_runs_walk_the_object(self):
+        stream = ZipfStream(0, 1 << 16, run_ops=4, run_step=24)
+        ops = drain(stream, n=4)
+        assert ops[1][0] == ops[0][0] + 24
+
+    def test_popularity_clusters_spatially(self):
+        # hot items sit at low addresses (allocation-order locality)
+        stream = ZipfStream(0, 1 << 20, granule=256, alpha=1.2, run_ops=1)
+        addrs = [a for a, _ in drain(stream, n=2000)]
+        low = sum(1 for a in addrs if a < (1 << 20) // 4)
+        assert low > len(addrs) // 2
+
+
+class TestPointerChase:
+    def test_deterministic_cycle(self):
+        a = [a for a, _ in drain(PointerChaseStream(0, 4096, seed=3))]
+        b = [a for a, _ in drain(PointerChaseStream(0, 4096, seed=3))]
+        assert a == b
+
+    def test_field_reads_stay_in_node(self):
+        stream = PointerChaseStream(0, 4096, node_size=64)
+        ops = drain(stream, n=9)
+        for i in range(0, 9, 3):
+            node = ops[i][0] & ~63
+            assert all(node <= ops[i + j][0] < node + 64 for j in range(3))
+
+
+class TestStencil:
+    def test_mostly_own_rows(self):
+        stream = StencilStream(0, rows=64, row_bytes=1024, core=2, cores=4)
+        own = 0
+        ops = drain(stream, n=1000)
+        for addr, _w in ops:
+            row = addr // 1024
+            if 32 <= row < 48:
+                own += 1
+        assert own > 800
+
+
+class TestProducerConsumer:
+    def test_reads_predecessor_writes_self(self):
+        stream = ProducerConsumerStream(0, chunk=4096, core=2, cores=4)
+        for addr, is_write in drain(stream, n=400):
+            chunk = addr // 4096
+            if is_write:
+                assert chunk == 2
+            else:
+                assert chunk == 1
+
+
+class TestHotLines:
+    def test_bounded_to_line_pool(self):
+        ops = drain(HotLineStream(0x7000, lines=4))
+        assert {a for a, _w in ops} <= {0x7000 + i * 64 for i in range(4)}
+
+
+@settings(max_examples=20)
+@given(st.integers(0, 2**20), st.sampled_from([256, 1024, 65536]),
+       st.floats(0.3, 1.3))
+def test_zipf_always_in_bounds(base, size, alpha):
+    stream = ZipfStream(base, size, alpha=alpha)
+    rng = random.Random(0)
+    for _ in range(100):
+        addr, _w = stream.next_op(rng)
+        assert base <= addr < base + size + stream.run_ops * stream.run_step

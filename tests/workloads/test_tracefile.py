@@ -1,0 +1,95 @@
+"""Tests for trace-file recording and replay."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.params import base_2l, d2m_fs
+from repro.common.types import AccessKind
+from repro.core.hierarchy import build_hierarchy
+from repro.mem.address import AddressMap
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import make_workload
+from repro.workloads.tracefile import (
+    TraceFileWorkload,
+    load_trace,
+    parse_trace_line,
+    record_trace,
+)
+
+
+class TestParsing:
+    def test_basic_line(self):
+        acc = parse_trace_line("2 L 0x1000")
+        assert acc.core == 2
+        assert acc.kind is AccessKind.LOAD
+        assert acc.vaddr == 0x1000
+
+    def test_decimal_and_case(self):
+        assert parse_trace_line("0 s 4096").kind is AccessKind.STORE
+        assert parse_trace_line("0 i 4096").kind is AccessKind.IFETCH
+
+    def test_garbage_rejected(self):
+        for bad in ("1 L", "x L 0", "0 Q 0", "0 L zz"):
+            with pytest.raises(TraceError):
+                parse_trace_line(bad)
+
+
+class TestRecordReplay:
+    def test_roundtrip_identical_stream(self, tmp_path):
+        amap = AddressMap()
+        source = make_workload("water", 2, amap, seed=3)
+        path = tmp_path / "water.trace"
+        written = record_trace(source, 300, path, seed=3)
+        assert written > 300  # instructions + data ops
+
+        replay = TraceFileWorkload(path, nodes=2, amap=amap)
+        fresh = make_workload("water", 2, amap, seed=3)
+        assert (list(replay.generate(300))
+                == list(fresh.generate(300, seed=3)))
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\n0 I 0x10  # inline\n0 L 0x20\n")
+        assert len(load_trace(path)) == 2
+
+    def test_core_bound_checked(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("5 L 0x10\n")
+        workload = TraceFileWorkload(path, nodes=2)
+        with pytest.raises(TraceError):
+            list(workload.generate(10))
+
+    def test_instruction_budget_respected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0 I 0x10\n0 L 0x20\n0 I 0x30\n0 I 0x40\n")
+        workload = TraceFileWorkload(path, nodes=1)
+        accesses = list(workload.generate(2))
+        assert sum(1 for a in accesses if a.is_instruction) == 2
+
+
+class TestSimulationOnTraces:
+    @pytest.mark.parametrize("factory", [base_2l, d2m_fs])
+    def test_trace_drives_any_hierarchy(self, tmp_path, factory):
+        amap = AddressMap()
+        source = make_workload("water", 2, amap, seed=4)
+        path = tmp_path / "water.trace"
+        record_trace(source, 1_000, path, seed=4)
+
+        hierarchy = build_hierarchy(factory(2))
+        replay = TraceFileWorkload(path, nodes=2, amap=hierarchy.amap)
+        result = Simulator(hierarchy, check_values=True).run(replay, 1_000)
+        assert result.instructions == 1_000
+
+    def test_replay_matches_synthetic_results(self, tmp_path):
+        amap = AddressMap()
+        source = make_workload("water", 2, amap, seed=4)
+        path = tmp_path / "water.trace"
+        record_trace(source, 800, path, seed=4)
+
+        h1 = build_hierarchy(base_2l(2))
+        r1 = Simulator(h1).run(make_workload("water", 2, h1.amap, seed=4),
+                               800, seed=4)
+        h2 = build_hierarchy(base_2l(2))
+        r2 = Simulator(h2).run(TraceFileWorkload(path, 2, amap=h2.amap), 800)
+        assert r1.miss_ratio(False) == r2.miss_ratio(False)
+        assert h1.network.total_messages == h2.network.total_messages
