@@ -1,20 +1,24 @@
 """Shared fixtures for the benchmark harnesses.
 
-The full (workload x system) sweep is simulated once per cache key and
-shared by every benchmark through the disk cache in
-``repro.experiments.runner``; ``REPRO_INSTRUCTIONS`` / ``REPRO_WORKLOADS``
-scale the sweep, ``REPRO_FRESH=1`` forces re-simulation.
+The full (workload x system) sweep is simulated once and shared by every
+benchmark through the per-run disk cache in ``repro.experiments.runner``
+(one record file per run under ``.repro_cache/runs/``, so an interrupted
+sweep resumes from the completed runs).  Missing runs fan out over
+``REPRO_JOBS`` worker processes (default: CPU count);
+``REPRO_INSTRUCTIONS`` / ``REPRO_WARMUP`` / ``REPRO_WORKLOADS`` scale
+the sweep and ``REPRO_FRESH=1`` forces re-simulation.
 """
 
 import pytest
 
 from repro.experiments.runner import get_matrix
+from repro.sim.parallel import job_count
 
 
 @pytest.fixture(scope="session")
 def matrix():
-    """The shared simulation sweep (cached on disk)."""
-    return get_matrix()
+    """The shared simulation sweep (cached on disk, parallel fill)."""
+    return get_matrix(jobs=job_count())
 
 
 def run_once(benchmark, fn, *args):

@@ -106,15 +106,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import get_matrix
+    from repro.experiments.runner import SweepError, get_matrix
 
     workloads = None
     if args.workloads:
-        workloads = [w.strip() for w in args.workloads.split(",")]
+        workloads = [w.strip() for w in args.workloads.split(",")
+                     if w.strip()]
         for name in workloads:
-            get_spec(name)  # raise early on typos
-    matrix = get_matrix(workloads=workloads,
-                        instructions=args.instructions, seed=args.seed)
+            try:
+                get_spec(name)  # fail early on typos
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+        if not workloads:
+            print("no workloads selected", file=sys.stderr)
+            return 2
+    try:
+        matrix = get_matrix(workloads=workloads,
+                            instructions=args.instructions, seed=args.seed,
+                            jobs=args.jobs or None)
+    except SweepError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if not matrix:
+        print("empty sweep: no workloads selected", file=sys.stderr)
+        return 2
     print(f"matrix ready: {len(matrix)} workloads x "
           f"{len(next(iter(matrix.values())))} systems")
     return 0
@@ -147,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated subset (default: all)")
     sweep_p.add_argument("--instructions", type=int, default=0)
     sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument("--jobs", type=int, default=0,
+                         help="parallel workers (0 = REPRO_JOBS or CPU "
+                              "count; 1 = serial in-process)")
 
     return parser
 

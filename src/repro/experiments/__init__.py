@@ -7,6 +7,6 @@ figure/table modules share one simulation sweep, cached on disk by
 """
 
 from repro.experiments.records import RunRecord
-from repro.experiments.runner import get_matrix, sweep_workloads
+from repro.experiments.runner import SweepError, get_matrix, sweep_workloads
 
-__all__ = ["RunRecord", "get_matrix", "sweep_workloads"]
+__all__ = ["RunRecord", "SweepError", "get_matrix", "sweep_workloads"]

@@ -1,9 +1,18 @@
 """Shared, disk-cached simulation sweep for all experiment harnesses.
 
-Every figure and table consumes the same (workload x system) matrix; the
-first harness to run pays for the sweep and the rest load it from a JSON
-cache under ``.repro_cache/`` (keyed by instruction budget, seed, and the
-exact workload/config sets).  ``REPRO_FRESH=1`` forces a re-run.
+Every figure and table consumes the same (workload x system) matrix.
+Each finished run is persisted as its own record file under
+``.repro_cache/runs/<key>.json`` — keyed by workload, config name,
+instruction budget, seed, warm-up budget, and the record format version
+— and the matrix is assembled from those files on load.  A partial or
+interrupted sweep therefore reuses every completed run, and adding one
+workload re-simulates only the new runs.  Writes are atomic
+(``tempfile`` + ``os.replace``) and an unreadable or truncated entry is
+treated as a miss, never a crash.
+
+Runs that are not cached fan out over worker processes
+(:mod:`repro.sim.parallel`); ``REPRO_JOBS`` or the ``jobs`` argument set
+the worker count and ``REPRO_FRESH=1`` forces a full re-run.
 """
 
 from __future__ import annotations
@@ -12,16 +21,37 @@ import hashlib
 import json
 import os
 import sys
+import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.params import SystemConfig, all_configs
 from repro.experiments.records import RunRecord, record_from_outcome
-from repro.sim.runner import instruction_budget, run_workload
+from repro.sim.parallel import RunFailure, execute_runs
+from repro.sim.runner import (
+    RunSpec,
+    instruction_budget,
+    run_spec,
+    warmup_budget,
+)
 from repro.workloads.registry import CATEGORIES, get_spec, workload_names
 
 #: matrix type: matrix[workload][config_name] -> RunRecord
 Matrix = Dict[str, Dict[str, RunRecord]]
+
+#: bump when RunRecord's schema or the simulation semantics change
+RUN_FORMAT = 4
+
+
+class SweepError(RuntimeError):
+    """Some runs of a sweep failed; the completed ones are cached."""
+
+    def __init__(self, failures: List[RunFailure]):
+        self.failures = failures
+        lines = "\n".join(f"  - {failure}" for failure in failures)
+        super().__init__(
+            f"{len(failures)} run(s) failed (completed runs are cached; "
+            f"rerun to retry only the failures):\n{lines}")
 
 
 def sweep_workloads() -> List[str]:
@@ -39,55 +69,117 @@ def cache_dir() -> Path:
     return path
 
 
-def _cache_key(workloads: List[str], configs: List[SystemConfig],
-               instructions: int, seed: int) -> str:
+def runs_dir() -> Path:
+    path = cache_dir() / "runs"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_key(workload: str, config_name: str, instructions: int,
+               seed: int, warmup: int) -> str:
+    """Key of one run record: every input that determines its numbers."""
     text = json.dumps({
-        "workloads": workloads,
-        "configs": [c.name for c in configs],
+        "workload": workload,
+        "config": config_name,
         "instructions": instructions,
         "seed": seed,
-        "format": 3,
+        "warmup": warmup,
+        "format": RUN_FORMAT,
     }, sort_keys=True)
-    return hashlib.sha256(text.encode()).hexdigest()[:16]
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def run_record_path(workload: str, config_name: str, instructions: int,
+                    seed: int, warmup: int) -> Path:
+    return runs_dir() / (
+        _cache_key(workload, config_name, instructions, seed, warmup)
+        + ".json")
+
+
+def _load_record(path: Path) -> Optional[RunRecord]:
+    """A cached record, or None (= miss) when absent/corrupt/stale-schema."""
+    try:
+        return RunRecord.from_json(json.loads(path.read_text()))
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write via a sibling temp file + ``os.replace`` so readers only
+    ever see absent or complete files, even across a mid-write kill."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _simulate_record(spec: RunSpec) -> dict:
+    """Worker task: one run, returned as a JSON-ready record payload."""
+    category = get_spec(spec.workload).category
+    outcome = run_spec(spec)
+    return record_from_outcome(outcome, category).to_json()
 
 
 def get_matrix(workloads: Optional[Iterable[str]] = None,
                configs: Optional[Iterable[SystemConfig]] = None,
                instructions: int = 0, seed: int = 1,
-               quiet: bool = False) -> Matrix:
-    """The shared run matrix, from cache when possible."""
+               quiet: bool = False, jobs: Optional[int] = None) -> Matrix:
+    """The shared run matrix, assembled from per-run cache records.
+
+    Missing runs are simulated — in parallel when ``jobs`` (or
+    ``REPRO_JOBS``, or the CPU count) exceeds one — and each record is
+    persisted the moment it lands, so interrupting the sweep never loses
+    completed work.  If any run fails, the rest still complete and a
+    :class:`SweepError` listing the failures is raised at the end.
+    """
     workload_list = list(workloads) if workloads else sweep_workloads()
     config_list = list(configs) if configs else list(all_configs())
     budget = instructions or instruction_budget()
-    key = _cache_key(workload_list, config_list, budget, seed)
-    cache_file = cache_dir() / f"matrix-{key}.json"
+    warmup = warmup_budget(budget)
+    fresh = bool(os.environ.get("REPRO_FRESH"))
 
-    if cache_file.exists() and not os.environ.get("REPRO_FRESH"):
-        raw = json.loads(cache_file.read_text())
-        return {
-            wl: {cfg: RunRecord.from_json(rec) for cfg, rec in row.items()}
-            for wl, row in raw.items()
-        }
-
-    matrix: Matrix = {}
-    total = len(workload_list) * len(config_list)
-    done = 0
+    matrix: Matrix = {wl: {} for wl in workload_list}
+    pending: List[Tuple[RunSpec, Path]] = []
     for workload in workload_list:
-        category = get_spec(workload).category
-        row: Dict[str, RunRecord] = {}
+        get_spec(workload)  # unknown workloads fail before any simulation
         for config in config_list:
-            done += 1
-            if not quiet:
-                print(f"[{done:3d}/{total}] {workload} on {config.name} ...",
-                      file=sys.stderr, flush=True)
-            outcome = run_workload(config, workload, budget, seed)
-            row[config.name] = record_from_outcome(outcome, category)
-        matrix[workload] = row
+            path = run_record_path(workload, config.name, budget, seed,
+                                   warmup)
+            record = None if fresh else _load_record(path)
+            if record is None:
+                pending.append(
+                    (RunSpec(config, workload, budget, seed, warmup=warmup),
+                     path))
+            else:
+                matrix[workload][config.name] = record
 
-    cache_file.write_text(json.dumps({
-        wl: {cfg: rec.to_json() for cfg, rec in row.items()}
-        for wl, row in matrix.items()
-    }))
+    if pending:
+        paths = [path for _, path in pending]
+        specs = [spec for spec, _ in pending]
+
+        def persist(index: int, payload: dict) -> None:
+            _atomic_write_json(paths[index], payload)
+            spec = specs[index]
+            matrix[spec.workload][spec.config.name] = RunRecord.from_json(
+                payload)
+
+        def report(done: int, total: int, spec: RunSpec) -> None:
+            if not quiet:
+                print(f"[{done:3d}/{total}] {spec.workload} on "
+                      f"{spec.config.name}", file=sys.stderr, flush=True)
+
+        _, failures = execute_runs(specs, _simulate_record, jobs=jobs,
+                                   progress=report, on_result=persist)
+        if failures:
+            raise SweepError(failures)
     return matrix
 
 

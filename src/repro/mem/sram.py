@@ -50,7 +50,9 @@ class SetAssocStore(Generic[T]):
             raise ValueError("sets and ways must be positive")
         self.sets = sets
         self.ways = ways
-        self._index_fn = index_fn if index_fn is not None else (lambda key: key % sets)
+        # None means the modulo default; kept as None (not a closure) so a
+        # finished hierarchy stays picklable for cross-process run fan-out.
+        self._index_fn = index_fn
         self._slots: List[List[Slot[T]]] = [
             [Slot() for _ in range(ways)] for _ in range(sets)
         ]
@@ -61,7 +63,7 @@ class SetAssocStore(Generic[T]):
     # -- lookup ---------------------------------------------------------------
 
     def index_of(self, key: int) -> int:
-        idx = self._index_fn(key)
+        idx = self._index_fn(key) if self._index_fn is not None else key % self.sets
         if not 0 <= idx < self.sets:
             raise ValueError(f"index function produced {idx} outside [0,{self.sets})")
         return idx

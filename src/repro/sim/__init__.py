@@ -2,7 +2,8 @@
 
 from repro.sim.simulator import Simulator, SimResult
 from repro.sim.perf import PerfModel, PerfSummary
-from repro.sim.runner import run_workload, run_matrix, RunSpec
+from repro.sim.runner import run_workload, run_matrix, run_spec, RunSpec
+from repro.sim.parallel import RunFailure, execute_runs, job_count
 
 __all__ = [
     "Simulator",
@@ -11,5 +12,9 @@ __all__ = [
     "PerfSummary",
     "run_workload",
     "run_matrix",
+    "run_spec",
     "RunSpec",
+    "RunFailure",
+    "execute_runs",
+    "job_count",
 ]

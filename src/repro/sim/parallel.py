@@ -1,0 +1,121 @@
+"""Parallel fan-out of independent simulation runs.
+
+Every run in a sweep is an independent ``(config, workload, seed)``
+triple, so the matrix is embarrassingly parallel.  :func:`execute_runs`
+maps a picklable task function over :class:`~repro.sim.runner.RunSpec`s
+on a ``ProcessPoolExecutor`` with per-run failure isolation: one crashed
+run becomes a :class:`RunFailure` in the returned list instead of
+killing the sweep, and every completed result is still delivered.
+
+``jobs == 1`` bypasses multiprocessing entirely and runs in-process, in
+spec order — the deterministic path tests and debuggers rely on.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.runner import RunSpec
+
+#: progress callback: (completed_count, total, spec_just_finished)
+ProgressFn = Callable[[int, int, RunSpec], None]
+#: result callback, called in the parent as each run lands: (index, payload)
+ResultFn = Callable[[int, object], None]
+
+
+def job_count(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit ``jobs`` > ``REPRO_JOBS`` > CPUs."""
+    if jobs is not None and jobs > 0:
+        return jobs
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            import sys
+            print(f"ignoring non-integer REPRO_JOBS={env!r}",
+                  file=sys.stderr)
+    return os.cpu_count() or 1
+
+
+@dataclass
+class RunFailure:
+    """One run that raised instead of finishing; the sweep carries on."""
+
+    workload: str
+    config: str
+    seed: int
+    error: str
+
+    def __str__(self) -> str:
+        summary = self.error.strip().splitlines()[-1] if self.error else "?"
+        return f"{self.workload} on {self.config} (seed {self.seed}): {summary}"
+
+
+def execute_runs(
+    specs: Sequence[RunSpec],
+    fn: Callable[[RunSpec], object],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    on_result: Optional[ResultFn] = None,
+) -> Tuple[Dict[int, object], List[RunFailure]]:
+    """Run ``fn(spec)`` for every spec, fanning out over processes.
+
+    Returns ``(results, failures)`` where ``results`` maps the spec's
+    index in ``specs`` to ``fn``'s return value.  ``fn`` must be a
+    module-level callable and its return value picklable (workers ship
+    results back through the pool).  ``on_result`` fires in the parent
+    as each run lands — before ``progress`` — so callers can persist
+    completed runs incrementally and an interrupted sweep keeps them.
+    """
+    specs = list(specs)
+    total = len(specs)
+    results: Dict[int, object] = {}
+    failures: List[RunFailure] = []
+    workers = min(job_count(jobs), total) if total else 1
+
+    def _land(index: int, payload: object, done: int) -> None:
+        results[index] = payload
+        if on_result is not None:
+            on_result(index, payload)
+        if progress is not None:
+            progress(done, total, specs[index])
+
+    def _fail(index: int, done: int, error: str) -> None:
+        spec = specs[index]
+        failures.append(RunFailure(spec.workload, spec.config.name,
+                                   spec.seed, error))
+        if progress is not None:
+            progress(done, total, spec)
+
+    if workers <= 1:
+        for index, spec in enumerate(specs):
+            try:
+                payload = fn(spec)
+            except Exception:
+                _fail(index, index + 1, traceback.format_exc())
+            else:
+                _land(index, payload, index + 1)
+        return results, failures
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(fn, spec): index
+                   for index, spec in enumerate(specs)}
+        done = 0
+        for future in as_completed(futures):
+            index = futures[future]
+            done += 1
+            try:
+                payload = future.result()
+            except Exception:
+                # Includes BrokenProcessPool: a hard-killed worker fails
+                # the runs it held, and the rest are reported as they
+                # drain — the sweep itself survives.
+                _fail(index, done, traceback.format_exc())
+            else:
+                _land(index, payload, done)
+    return results, failures

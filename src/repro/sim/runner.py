@@ -42,6 +42,7 @@ class RunSpec:
     instructions: int = 0
     seed: int = 1
     check_values: bool = False  # oracle checking is for tests; slow
+    warmup: Optional[int] = None  # None = REPRO_WARMUP or the default fraction
 
 
 @dataclass
@@ -127,36 +128,67 @@ class RunOutcome:
 
 def run_workload(config: SystemConfig, workload_name: str,
                  instructions: int = 0, seed: int = 1,
-                 check_values: bool = False) -> RunOutcome:
-    """Simulate one workload on one system configuration."""
+                 check_values: bool = False,
+                 warmup: Optional[int] = None) -> RunOutcome:
+    """Simulate one workload on one system configuration.
+
+    ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` (or
+    the default fraction); passing it explicitly pins the run so workers
+    in other processes reproduce it bit-for-bit regardless of their
+    environment.
+    """
     budget = instructions or instruction_budget()
+    roi_warmup = warmup if warmup is not None else warmup_budget(budget)
     hierarchy = build_hierarchy(config)
     workload = make_workload(workload_name, config.nodes, hierarchy.amap,
                              seed=seed)
     simulator = Simulator(hierarchy, check_values=check_values)
-    result = simulator.run(workload, budget, seed=seed,
-                           warmup=warmup_budget(budget))
+    result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup)
     perf = PerfModel(config.ooo).summarize(result)
     return RunOutcome(
-        spec=RunSpec(config, workload_name, budget, seed, check_values),
+        spec=RunSpec(config, workload_name, budget, seed, check_values,
+                     roi_warmup),
         result=result,
         perf=perf,
         hierarchy=hierarchy,
     )
 
 
+def run_spec(spec: RunSpec) -> RunOutcome:
+    """Execute one :class:`RunSpec` — the unit parallel workers run."""
+    return run_workload(spec.config, spec.workload, spec.instructions,
+                        spec.seed, check_values=spec.check_values,
+                        warmup=spec.warmup)
+
+
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],
                instructions: int = 0, seed: int = 1,
-               progress=None) -> Dict[str, Dict[str, RunOutcome]]:
-    """All (workload, config) runs: ``matrix[workload][config.name]``."""
-    matrix: Dict[str, Dict[str, RunOutcome]] = {}
+               progress=None, check_values: bool = False,
+               jobs: int = 1) -> Dict[str, Dict[str, RunOutcome]]:
+    """All (workload, config) runs: ``matrix[workload][config.name]``.
+
+    ``jobs > 1`` fans the runs out over worker processes (see
+    :mod:`repro.sim.parallel`); the default stays serial and in-process.
+    A failed run raises after every other run has finished.
+    """
+    from repro.sim.parallel import execute_runs
+
     configs = list(configs)
-    for workload_name in workloads:
-        row: Dict[str, RunOutcome] = {}
-        for config in configs:
-            if progress is not None:
-                progress(workload_name, config.name)
-            row[config.name] = run_workload(config, workload_name,
-                                            instructions, seed)
-        matrix[workload_name] = row
+    specs = [RunSpec(config, workload_name, instructions, seed, check_values)
+             for workload_name in workloads for config in configs]
+    if progress is not None:
+        wrapped = lambda done, total, spec: progress(spec.workload,
+                                                     spec.config.name)
+    else:
+        wrapped = None
+    results, failures = execute_runs(specs, run_spec, jobs=jobs,
+                                     progress=wrapped)
+    if failures:
+        raise RuntimeError(
+            "run_matrix: %d run(s) failed:\n%s"
+            % (len(failures), "\n".join(str(f) for f in failures)))
+    matrix: Dict[str, Dict[str, RunOutcome]] = {}
+    for index, spec in enumerate(specs):
+        outcome = results[index]
+        matrix.setdefault(spec.workload, {})[spec.config.name] = outcome
     return matrix

@@ -9,16 +9,16 @@ class TestDiskCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         monkeypatch.delenv("REPRO_FRESH", raising=False)
         first = get_matrix(workloads=["water"], configs=[base_2l(2)],
-                           instructions=1_000, seed=5, quiet=True)
-        assert list(tmp_path.glob("matrix-*.json"))
+                           instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert list((tmp_path / "runs").glob("*.json"))
         second = get_matrix(workloads=["water"], configs=[base_2l(2)],
-                            instructions=1_000, seed=5, quiet=True)
+                            instructions=1_000, seed=5, quiet=True, jobs=1)
         assert second["water"]["Base-2L"] == first["water"]["Base-2L"]
 
     def test_key_isolation(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         get_matrix(workloads=["water"], configs=[base_2l(2)],
-                   instructions=1_000, seed=5, quiet=True)
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
         get_matrix(workloads=["water"], configs=[base_2l(2)],
-                   instructions=1_500, seed=5, quiet=True)
-        assert len(list(tmp_path.glob("matrix-*.json"))) == 2
+                   instructions=1_500, seed=5, quiet=True, jobs=1)
+        assert len(list((tmp_path / "runs").glob("*.json"))) == 2

@@ -1,0 +1,156 @@
+"""Per-run sweep cache: key sensitivity, hit/miss, recovery, parallelism."""
+
+import json
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.common.params import base_2l, d2m_fs
+from repro.experiments.runner import SweepError, _cache_key, get_matrix
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_FRESH", raising=False)
+    monkeypatch.delenv("REPRO_WARMUP", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    return tmp_path
+
+
+def run_files(cache):
+    return sorted((cache / "runs").glob("*.json"))
+
+
+class TestCacheKey:
+    BASE = dict(workload="water", config_name="Base-2L",
+                instructions=1_000, seed=5, warmup=500)
+
+    def key(self, **overrides):
+        return _cache_key(**{**self.BASE, **overrides})
+
+    def test_stable(self):
+        assert self.key() == self.key()
+
+    @pytest.mark.parametrize("field,value", [
+        ("workload", "lu"),
+        ("config_name", "D2M-FS"),
+        ("instructions", 2_000),
+        ("seed", 6),
+        ("warmup", 100),
+    ])
+    def test_sensitive_to_every_input(self, field, value):
+        assert self.key(**{field: value}) != self.key()
+
+    def test_warmup_env_changes_selection(self, cache, monkeypatch):
+        """REPRO_WARMUP is part of the key: no stale-matrix reuse."""
+        get_matrix(workloads=["water"], configs=[base_2l(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert len(run_files(cache)) == 1
+        monkeypatch.setenv("REPRO_WARMUP", "100")
+        get_matrix(workloads=["water"], configs=[base_2l(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert len(run_files(cache)) == 2
+
+
+class TestPerRunCache:
+    def count_runs(self, monkeypatch):
+        """Count actual simulations through the in-process worker path."""
+        calls = []
+        real = runner.run_spec
+
+        def counting(spec):
+            calls.append((spec.workload, spec.config.name))
+            return real(spec)
+
+        monkeypatch.setattr(runner, "run_spec", counting)
+        return calls
+
+    def test_adding_a_workload_reuses_completed_runs(self, cache,
+                                                     monkeypatch):
+        configs = [base_2l(2), d2m_fs(2)]
+        calls = self.count_runs(monkeypatch)
+        get_matrix(workloads=["water"], configs=configs,
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert len(calls) == 2
+        matrix = get_matrix(workloads=["water", "lu"], configs=configs,
+                            instructions=1_000, seed=5, quiet=True, jobs=1)
+        # only the new workload's runs were simulated
+        assert len(calls) == 4
+        assert {wl for wl, _ in calls[2:]} == {"lu"}
+        assert set(matrix) == {"water", "lu"}
+        assert len(run_files(cache)) == 4
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, cache, monkeypatch):
+        first = get_matrix(workloads=["water"], configs=[base_2l(2)],
+                           instructions=1_000, seed=5, quiet=True, jobs=1)
+        [path] = run_files(cache)
+        path.write_text('{"workload": "water", "trunca')  # killed mid-write
+        calls = self.count_runs(monkeypatch)
+        again = get_matrix(workloads=["water"], configs=[base_2l(2)],
+                           instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert len(calls) == 1  # re-simulated
+        assert again["water"]["Base-2L"] == first["water"]["Base-2L"]
+        json.loads(path.read_text())  # rewritten, valid again
+
+    def test_fresh_env_forces_resimulation(self, cache, monkeypatch):
+        get_matrix(workloads=["water"], configs=[base_2l(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        monkeypatch.setenv("REPRO_FRESH", "1")
+        calls = self.count_runs(monkeypatch)
+        get_matrix(workloads=["water"], configs=[base_2l(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert len(calls) == 1
+
+    def test_failed_run_reported_after_sweep_and_rest_cached(
+            self, cache, monkeypatch):
+        real = runner._simulate_record
+
+        def flaky(spec):
+            if spec.config.name == "D2M-FS":
+                raise RuntimeError("boom")
+            return real(spec)
+
+        monkeypatch.setattr(runner, "_simulate_record", flaky)
+        with pytest.raises(SweepError) as excinfo:
+            get_matrix(workloads=["water"], configs=[base_2l(2), d2m_fs(2)],
+                       instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert "D2M-FS" in str(excinfo.value)
+        # the run that succeeded was persisted; a retry redoes only the
+        # failure
+        assert len(run_files(cache)) == 1
+        monkeypatch.setattr(runner, "_simulate_record", real)
+        matrix = get_matrix(workloads=["water"],
+                            configs=[base_2l(2), d2m_fs(2)],
+                            instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert set(matrix["water"]) == {"Base-2L", "D2M-FS"}
+
+
+class TestParallelSweep:
+    def test_two_workers_match_serial_records(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FRESH", raising=False)
+        monkeypatch.delenv("REPRO_WARMUP", raising=False)
+        configs = [base_2l(2), d2m_fs(2)]
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = get_matrix(workloads=["water", "lu"], configs=configs,
+                            instructions=1_000, seed=5, quiet=True, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        parallel = get_matrix(workloads=["water", "lu"], configs=configs,
+                              instructions=1_000, seed=5, quiet=True, jobs=2)
+        for workload in serial:
+            for config in serial[workload]:
+                assert (parallel[workload][config].to_json()
+                        == serial[workload][config].to_json())
+
+    def test_parallel_run_files_reload_identically(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_FRESH", raising=False)
+        first = get_matrix(workloads=["water"],
+                           configs=[base_2l(2), d2m_fs(2)],
+                           instructions=1_000, seed=5, quiet=True, jobs=2)
+        second = get_matrix(workloads=["water"],
+                            configs=[base_2l(2), d2m_fs(2)],
+                            instructions=1_000, seed=5, quiet=True, jobs=2)
+        assert {cfg: rec.to_json() for cfg, rec in second["water"].items()} \
+            == {cfg: rec.to_json() for cfg, rec in first["water"].items()}

@@ -1,0 +1,97 @@
+"""Unit tests for the parallel run executor."""
+
+import pytest
+
+from repro.common.params import base_2l
+from repro.sim.parallel import RunFailure, execute_runs, job_count
+from repro.sim.runner import RunSpec
+
+
+def _specs(*workloads):
+    return [RunSpec(base_2l(2), name, 1_000, seed=3) for name in workloads]
+
+
+# module-level so the process pool can pickle them by qualified name
+def _name_of(spec):
+    return spec.workload
+
+
+def _explode(spec):
+    raise ValueError(f"no such run: {spec.workload}")
+
+
+def _explode_on_lu(spec):
+    if spec.workload == "lu":
+        raise ValueError("lu is cursed")
+    return spec.workload
+
+
+class TestJobCount:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert job_count(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert job_count() == 7
+
+    def test_cpu_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert job_count() >= 1
+
+    def test_zero_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert job_count(0) == 7
+
+
+class TestSerialPath:
+    def test_results_indexed_by_spec(self):
+        results, failures = execute_runs(_specs("water", "lu"), _name_of,
+                                         jobs=1)
+        assert results == {0: "water", 1: "lu"}
+        assert failures == []
+
+    def test_failure_isolation(self):
+        results, failures = execute_runs(_specs("water", "lu", "fft"),
+                                         _explode_on_lu, jobs=1)
+        assert results == {0: "water", 2: "fft"}
+        [failure] = failures
+        assert isinstance(failure, RunFailure)
+        assert failure.workload == "lu"
+        assert "cursed" in failure.error
+        assert "lu" in str(failure)
+
+    def test_callbacks_fire_in_order(self):
+        seen = []
+        landed = []
+        execute_runs(
+            _specs("water", "lu"), _name_of, jobs=1,
+            progress=lambda done, total, spec: seen.append(
+                (done, total, spec.workload)),
+            on_result=lambda index, payload: landed.append(payload),
+        )
+        assert seen == [(1, 2, "water"), (2, 2, "lu")]
+        assert landed == ["water", "lu"]
+
+    def test_empty_specs(self):
+        assert execute_runs([], _name_of, jobs=4) == ({}, [])
+
+
+class TestParallelPath:
+    def test_two_workers_all_results(self):
+        results, failures = execute_runs(_specs("water", "lu", "fft"),
+                                         _name_of, jobs=2)
+        assert results == {0: "water", 1: "lu", 2: "fft"}
+        assert failures == []
+
+    def test_two_workers_failures_do_not_kill_sweep(self):
+        results, failures = execute_runs(_specs("water", "lu", "fft"),
+                                         _explode_on_lu, jobs=2)
+        assert results == {0: "water", 2: "fft"}
+        assert [f.workload for f in failures] == ["lu"]
+
+    def test_all_failures_reported(self):
+        results, failures = execute_runs(_specs("water", "lu"), _explode,
+                                         jobs=2)
+        assert results == {}
+        assert sorted(f.workload for f in failures) == ["lu", "water"]

@@ -44,3 +44,30 @@ class TestRunWorkload:
                             instructions=1_500, seed=2)
         assert set(matrix) == {"water", "lu"}
         assert set(matrix["water"]) == {"Base-2L"}
+
+    def test_matrix_forwards_check_values(self):
+        matrix = run_matrix([base_2l(2)], ["water"], instructions=1_000,
+                            seed=2, check_values=True)
+        assert matrix["water"]["Base-2L"].spec.check_values is True
+
+    def test_matrix_parallel_matches_serial(self):
+        serial = run_matrix([base_2l(2)], ["water", "lu"],
+                            instructions=1_000, seed=2, jobs=1)
+        parallel = run_matrix([base_2l(2)], ["water", "lu"],
+                              instructions=1_000, seed=2, jobs=2)
+        for workload in serial:
+            ours = parallel[workload]["Base-2L"]
+            theirs = serial[workload]["Base-2L"]
+            assert ours.perf.cycles == theirs.perf.cycles
+            assert ours.msgs_per_ki == theirs.msgs_per_ki
+            assert ours.edp == theirs.edp
+
+    def test_explicit_warmup_pins_the_run(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARMUP", "900")
+        pinned = run_workload(base_2l(2), "water", instructions=1_000,
+                              seed=2, warmup=500)
+        monkeypatch.delenv("REPRO_WARMUP")
+        default = run_workload(base_2l(2), "water", instructions=1_000,
+                               seed=2)
+        assert pinned.spec.warmup == 500
+        assert pinned.perf.cycles == default.perf.cycles

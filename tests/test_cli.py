@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import ARTIFACTS, main
 
 
@@ -60,7 +58,19 @@ class TestSweep:
                      "--instructions", "1200"]) == 0
         assert "matrix ready" in capsys.readouterr().out
 
-    def test_sweep_rejects_typo(self, tmp_path, monkeypatch):
+    def test_sweep_rejects_typo(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        with pytest.raises(KeyError):
-            main(["sweep", "--workloads", "watr"])
+        assert main(["sweep", "--workloads", "watr"]) == 2
+        assert "watr" in capsys.readouterr().err
+
+    def test_sweep_rejects_empty_selection(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--workloads", " , "]) == 2
+        assert "no workloads" in capsys.readouterr().err
+
+    def test_sweep_jobs_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--workloads", "water",
+                     "--instructions", "1200", "--jobs", "1"]) == 0
+        assert "matrix ready" in capsys.readouterr().out
