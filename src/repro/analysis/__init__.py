@@ -1,0 +1,23 @@
+"""Runtime analysis tooling for the simulated hierarchy.
+
+The package is deliberately decoupled from :mod:`repro.core`: the
+protocol emits events through a duck-typed ``tracer`` attribute with
+plain-string event kinds, so core modules never import analysis code
+and attaching the sanitizer is strictly opt-in.
+"""
+
+from repro.analysis.events import EventRing, ProtocolEvent, render_timeline
+from repro.analysis.sanitizer import (
+    CoherenceSanitizer,
+    SanitizerViolation,
+    attach_sanitizer,
+)
+
+__all__ = [
+    "CoherenceSanitizer",
+    "EventRing",
+    "ProtocolEvent",
+    "SanitizerViolation",
+    "attach_sanitizer",
+    "render_timeline",
+]

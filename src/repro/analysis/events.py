@@ -1,0 +1,122 @@
+"""Protocol event primitives: the forensic ring buffer and timeline.
+
+Events are what the core protocol emits through its duck-typed
+``tracer`` hook — one :class:`ProtocolEvent` per state-changing protocol
+action, holding only primitives (plus the hashable frozen ``LI``) so an
+instrumented machine stays picklable for parallel sweeps.
+
+The :class:`EventRing` keeps the last N events.  When the sanitizer
+detects a violation it filters the ring by the offending region/line and
+renders the survivors as a readable timeline — the forensic report that
+turns "invariant broken" into "here is the event sequence that broke
+it".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+#: default ring capacity (events kept for forensics)
+DEFAULT_RING_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One protocol action, as reported through the tracer hook."""
+
+    seq: int                     # global order (monotonic per sanitizer)
+    kind: str                    # e.g. "llc.evict", "md3.pb_add"
+    node: Optional[int] = None   # acting / affected node id
+    line: Optional[int] = None   # cache line address, when line-scoped
+    region: Optional[int] = None  # physical region, when region-scoped
+    idx: Optional[int] = None    # line index within the region
+    detail: str = ""             # free-form qualifier (e.g. "D2", "write")
+
+    def touches(self, region: Optional[int] = None,
+                line: Optional[int] = None) -> bool:
+        """Whether the event involves the given region and/or line."""
+        if region is not None and self.region != region:
+            return False
+        if line is not None and self.line is not None and self.line != line:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """One timeline row: ``[  seq] kind  field=value ...``."""
+        fields: List[str] = []
+        if self.node is not None:
+            fields.append(f"node={self.node}")
+        if self.region is not None:
+            fields.append(f"region={self.region:#x}")
+        if self.line is not None:
+            fields.append(f"line={self.line:#x}")
+        if self.idx is not None:
+            fields.append(f"idx={self.idx}")
+        if self.detail:
+            fields.append(self.detail)
+        return f"[{self.seq:6d}] {self.kind:<16s} {' '.join(fields)}".rstrip()
+
+
+class EventRing:
+    """A bounded buffer of the most recent protocol events."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[ProtocolEvent] = deque(maxlen=capacity)
+        self.seq = 0       # next sequence number
+        self.recorded = 0  # total events ever recorded (ring may be smaller)
+
+    def append(self, kind: str, node: Optional[int] = None,
+               line: Optional[int] = None, region: Optional[int] = None,
+               idx: Optional[int] = None, detail: str = "") -> ProtocolEvent:
+        """Record an event, assigning it the next sequence number."""
+        event = ProtocolEvent(self.seq, kind, node=node, line=line,
+                              region=region, idx=idx, detail=detail)
+        self.seq += 1
+        self.recorded += 1
+        self._events.append(event)
+        return event
+
+    def events(self) -> List[ProtocolEvent]:
+        """All buffered events, oldest first."""
+        return list(self._events)
+
+    def matching(self, region: Optional[int] = None,
+                 line: Optional[int] = None,
+                 last: Optional[int] = None) -> List[ProtocolEvent]:
+        """Buffered events touching ``region``/``line`` (newest ``last``)."""
+        hits = [event for event in self._events
+                if event.touches(region=region, line=line)]
+        if last is not None and len(hits) > last:
+            hits = hits[-last:]
+        return hits
+
+    def last_seq_touching(self, region: int) -> int:
+        """Sequence of the newest buffered event touching ``region``.
+
+        -1 when no buffered event touches it.
+        """
+        for event in reversed(self._events):
+            if event.region == region:
+                return event.seq
+        return -1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def render_timeline(events: Iterable[ProtocolEvent],
+                    header: str = "") -> str:
+    """Render events as an indented, human-readable timeline."""
+    rows = [event.describe() for event in events]
+    if not rows:
+        rows = ["(no buffered events touch the offending state)"]
+    lines = []
+    if header:
+        lines.append(f"  {header}")
+    lines.extend(f"    {row}" for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""The coherence sanitizer: incremental invariant checking + forensics.
+
+TSan-style checking for the simulated hierarchy.  A
+:class:`CoherenceSanitizer` attaches to a live :class:`D2MProtocol`
+through the core's duck-typed ``tracer`` hooks and, after every access,
+re-checks **only the regions the access touched** — every D2M invariant
+is region-scoped (see :mod:`repro.core.invariants`), so the incremental
+check is the full walk restricted to the touched-region set, O(touched
+state) instead of O(whole machine).
+
+The shadow model the event stream feeds:
+
+* **Touched-region set** — every emitted event names the region whose
+  state it changed; cross-region side effects (LLC victim eviction, MD1
+  spills, forced region evictions) emit with the *victim's* region, so
+  the set is exactly the state the access could have changed.
+* **PB mirror** — an event-replicated copy of MD3's presence bits,
+  cross-checked against the real entry whenever a region is checked.  A
+  protocol path that flips a PB bit without emitting the matching event
+  (or emits the wrong one) is caught even when the resulting state is
+  legal.
+* **Per-region fingerprints** (master map + LI mirror) — after checking
+  a region the sanitizer snapshots its masters, LI arrays, and MD3
+  entry.  A round-robin *rotation* re-fingerprints a few untouched
+  regions per access; any drift in a region with no events since its
+  snapshot is an out-of-band mutation — state changed behind the event
+  stream's back.
+
+On violation the sanitizer raises :class:`SanitizerViolation` (an
+:class:`InvariantViolation`) whose message embeds a forensic report: the
+last events touching the offending region rendered as a timeline, plus
+the tail of the global event stream for context.
+
+``every=K`` additionally runs the whole-machine walk every K-th access,
+a safety net sampling for anything a region-scoped view could miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.events import EventRing, render_timeline
+from repro.common.errors import InvariantViolation
+from repro.core.invariants import (
+    check_region_invariants,
+    machine_regions,
+)
+from repro.core.protocol import D2MProtocol
+
+#: events shown per forensic report section
+FORENSIC_EVENTS = 16
+FORENSIC_TAIL = 8
+
+
+class SanitizerViolation(InvariantViolation):
+    """An invariant violation enriched with a forensic event report."""
+
+    def __init__(self, message: str, report: str = "",
+                 region: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.report = report
+        self.region = region
+
+
+#: state fingerprint of one region (see CoherenceSanitizer._fingerprint)
+Fingerprint = Tuple[object, ...]
+
+
+class CoherenceSanitizer:
+    """Incremental shadow-model checker for one D2M machine.
+
+    Implements the tracer interface the core calls (``begin_access``,
+    ``emit``, ``end_access``) plus ``note`` for externally injected
+    events (tests, drivers).  All bookkeeping lives in plain attributes
+    and never touches the machine's stats, LRU state, or RNGs, so a
+    sanitized run produces bit-identical statistics.
+    """
+
+    def __init__(self, protocol: D2MProtocol, every: int = 0,
+                 ring_capacity: int = 0, rotation: int = 2) -> None:
+        self.protocol = protocol
+        self.every = max(0, every)       # full-walk sampling period (0 = off)
+        self.rotation = max(0, rotation)  # untouched regions checked/access
+        self.ring = EventRing(ring_capacity) if ring_capacity else EventRing()
+        self._touched: Set[int] = set()
+        self._pb: Dict[int, Set[int]] = {}
+        self._shadow: Dict[int, Tuple[Fingerprint, int]] = {}
+        self._rotation_queue: List[int] = []
+        self._in_access = False
+        # overhead/coverage counters (plain attributes, not machine stats)
+        self.accesses = 0
+        self.events_seen = 0
+        self.regions_checked = 0
+        self.rotation_checks = 0
+        self.full_walks = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self) -> "CoherenceSanitizer":
+        """Hook into the protocol, its nodes, and MD3; seed the mirrors."""
+        self.protocol.tracer = self
+        for node in self.protocol.nodes:
+            node.tracer = self
+        self.protocol.md3.tracer = self
+        for pregion, entry in self.protocol.md3:
+            self._pb[pregion] = set(entry.pb)
+        return self
+
+    def detach(self) -> None:
+        self.protocol.tracer = None
+        for node in self.protocol.nodes:
+            node.tracer = None
+        self.protocol.md3.tracer = None
+
+    # ------------------------------------------------------------- tracer API
+
+    def begin_access(self, node: int, line: int, region: int, idx: int,
+                     detail: str = "") -> None:
+        """Called by the protocol at the top of every access."""
+        self._in_access = True
+        self.emit("access", node=node, line=line, region=region, idx=idx,
+                  detail=detail)
+
+    def emit(self, kind: str, node: Optional[int] = None,
+             line: Optional[int] = None, region: Optional[int] = None,
+             idx: Optional[int] = None, detail: str = "") -> None:
+        """Record one protocol event; feed the shadow model."""
+        self.events_seen += 1
+        self.ring.append(kind, node=node, line=line, region=region, idx=idx,
+                         detail=detail)
+        if region is not None:
+            self._touched.add(region)
+            if kind == "md3.pb_add" and node is not None:
+                self._pb.setdefault(region, set()).add(node)
+            elif kind == "md3.pb_clear" and node is not None:
+                self._pb.get(region, set()).discard(node)
+            elif kind == "md3.fill":
+                self._pb[region] = set()
+            elif kind == "md3.drop":
+                self._pb.pop(region, None)
+
+    def note(self, kind: str, node: Optional[int] = None,
+             line: Optional[int] = None, region: Optional[int] = None,
+             idx: Optional[int] = None, detail: str = "") -> None:
+        """Inject an external event (tests / drivers) into the stream.
+
+        The event lands in the forensic ring and marks its region
+        touched, exactly like a protocol-emitted event.
+        """
+        self.emit(kind, node=node, line=line, region=region, idx=idx,
+                  detail=detail)
+
+    def end_access(self) -> None:
+        """Called by the protocol after every completed access."""
+        self._in_access = False
+        self.accesses += 1
+        self.flush()
+        if self.every and self.accesses % self.every == 0:
+            self.run_full_walk()
+
+    # ------------------------------------------------------------- checking
+
+    def flush(self) -> None:
+        """Check all pending touched regions, then rotate.
+
+        Public so corruption tests (and drivers) can trigger a check
+        without pushing another access through a possibly-broken
+        machine.
+        """
+        touched = sorted(self._touched)
+        self._touched.clear()
+        for pregion in touched:
+            self._check_region(pregion)
+        self._rotate(exclude=set(touched))
+
+    def run_full_walk(self) -> None:
+        """The whole-machine walk, with forensics on failure."""
+        self.full_walks += 1
+        for pregion in machine_regions(self.protocol):
+            self._check_region(pregion)
+
+    def _check_region(self, pregion: int) -> None:
+        self.regions_checked += 1
+        try:
+            check_region_invariants(self.protocol, pregion)
+        except SanitizerViolation:
+            raise
+        except InvariantViolation as exc:
+            raise self._violation(str(exc), pregion) from exc
+        entry = self.protocol.md3.peek(pregion)
+        actual = set(entry.pb) if entry is not None else None
+        mirror = self._pb.get(pregion)
+        if actual != mirror:
+            raise self._violation(
+                f"PB mirror mismatch for region {pregion:#x}: "
+                f"MD3 has {actual}, events replicated {mirror}", pregion)
+        self._snapshot(pregion)
+
+    def _rotate(self, exclude: Set[int]) -> None:
+        """Re-fingerprint a few untouched regions (round-robin)."""
+        if not self.rotation:
+            return
+        budget = self.rotation
+        seen: Set[int] = set()
+        while budget > 0:
+            if not self._rotation_queue:
+                self._rotation_queue = sorted(self._shadow)
+                if not self._rotation_queue:
+                    return
+            pregion = self._rotation_queue.pop()
+            if pregion in seen:
+                return  # wrapped around within one rotation round
+            seen.add(pregion)
+            if pregion in exclude or pregion not in self._shadow:
+                continue
+            budget -= 1
+            self.rotation_checks += 1
+            old, last_seq = self._shadow[pregion]
+            try:
+                new = self._fingerprint(pregion)
+            except InvariantViolation as exc:
+                raise self._violation(
+                    f"rotation check of region {pregion:#x} found broken "
+                    f"state with no protocol event since seq {last_seq}: "
+                    f"{exc}", pregion) from exc
+            if new != old:
+                raise self._violation(
+                    f"out-of-band mutation of region {pregion:#x}: state "
+                    f"changed with no protocol event since seq {last_seq}",
+                    pregion)
+
+    # ------------------------------------------------------------- shadow
+
+    def _snapshot(self, pregion: int) -> None:
+        """Refresh the region's fingerprint after a successful check."""
+        present = (
+            self.protocol.md3.peek(pregion) is not None
+            or any(node.has_region(pregion) for node in self.protocol.nodes)
+        )
+        if not present:
+            self._shadow.pop(pregion, None)
+            return
+        self._shadow[pregion] = (self._fingerprint(pregion),
+                                 self.ring.seq - 1)
+
+    def _fingerprint(self, pregion: int) -> Fingerprint:
+        """The region's protocol-visible state as a comparable value.
+
+        Includes LI arrays, private bits, cached lines with their roles /
+        versions / RPs / tracking, and the MD3 entry.  Excludes pure
+        performance state (LRU order, install/rehit counters, pressure
+        windows) so fingerprints only change when a protocol event
+        should have been emitted.
+        """
+        protocol = self.protocol
+        parts: List[object] = []
+        for node in protocol.nodes:
+            md2_entry = node.md2.lookup(pregion, touch=False)
+            if md2_entry is None:
+                continue
+            holder = node.active_holder(pregion)
+            parts.append(("md", node.node, md2_entry.active_in.name,
+                          holder.private, tuple(holder.li), holder.scramble))
+            for array in node.arrays():
+                for set_idx, way, slot in array.lines_of_region(pregion):
+                    parts.append(("slot", array.name, set_idx, way, slot.line,
+                                  slot.role.name, slot.dirty, slot.version,
+                                  slot.rp, slot.tracked_by_node))
+        for ref, slot in protocol.llc.lines_of_region(pregion):
+            parts.append(("llc", ref.slice_owner, ref.set_idx, ref.way,
+                          slot.line, slot.role.name, slot.dirty, slot.version,
+                          slot.rp, slot.tracked_by_node))
+        entry = protocol.md3.peek(pregion)
+        if entry is not None:
+            parts.append(("md3", frozenset(entry.pb), tuple(entry.li),
+                          entry.scramble))
+        return tuple(parts)
+
+    # ------------------------------------------------------------- forensics
+
+    def _violation(self, message: str, pregion: int) -> SanitizerViolation:
+        """Wrap a violation message with the forensic event timeline."""
+        focused = self.ring.matching(region=pregion, last=FORENSIC_EVENTS)
+        tail = self.ring.events()[-FORENSIC_TAIL:]
+        report = render_timeline(
+            focused, header=f"last events touching region {pregion:#x}:")
+        report += "\n" + render_timeline(
+            tail, header="most recent events (all regions):")
+        text = (f"sanitizer: {message}\n"
+                f"  detected after access #{self.accesses} "
+                f"(event seq {self.ring.seq}, "
+                f"{self.ring.recorded} events recorded)\n"
+                f"{report}")
+        return SanitizerViolation(text, report=report, region=pregion)
+
+
+def attach_sanitizer(hierarchy: object, every: int = 0,
+                     ring_capacity: int = 0,
+                     rotation: int = 2) -> Optional[CoherenceSanitizer]:
+    """Attach a sanitizer to a hierarchy's protocol, if it has one.
+
+    Returns None for baseline hierarchies (nothing to sanitize).
+    """
+    protocol = getattr(hierarchy, "protocol", None)
+    if not isinstance(protocol, D2MProtocol):
+        return None
+    sanitizer = CoherenceSanitizer(protocol, every=every,
+                                   ring_capacity=ring_capacity,
+                                   rotation=rotation)
+    return sanitizer.attach()

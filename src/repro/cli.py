@@ -66,7 +66,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     outcome = run_workload(config, args.workload,
                            instructions=args.instructions, seed=args.seed,
-                           check_values=args.check)
+                           check_values=args.check,
+                           sanitize=args.sanitize or None,
+                           sanitize_every=args.sanitize_every or None,
+                           check_invariants=args.check_invariants)
     result = outcome.result
     print(f"{args.workload} on {config.name} "
           f"({result.instructions} instructions)")
@@ -87,8 +90,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows.append(("NS hits I/D",
                      f"{result.ns_hit_ratio(True):.0%} / "
                      f"{result.ns_hit_ratio(False):.0%}"))
+    if outcome.sanitized:
+        rows.append(("sanitizer", "clean"))
+    if outcome.invariants_checked:
+        rows.append(("final invariants",
+                     "ok" if outcome.invariants_ok else "VIOLATED"))
     for label, value in rows:
         print(f"  {label:22s}{value}")
+    if outcome.invariants_checked and not outcome.invariants_ok:
+        print(outcome.invariant_error, file=sys.stderr)
+        return 1
     return 0
 
 
@@ -124,7 +135,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         matrix = get_matrix(workloads=workloads,
                             instructions=args.instructions, seed=args.seed,
-                            jobs=args.jobs or None)
+                            jobs=args.jobs or None,
+                            sanitize=args.sanitize,
+                            sanitize_every=args.sanitize_every,
+                            check_invariants=args.check_invariants)
     except SweepError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -133,6 +147,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     print(f"matrix ready: {len(matrix)} workloads x "
           f"{len(next(iter(matrix.values())))} systems")
+    broken = [(workload, name) for workload, row in matrix.items()
+              for name, record in row.items()
+              if record.invariants_checked and not record.invariants_ok]
+    if broken:
+        for workload, name in broken:
+            record = matrix[workload][name]
+            print(f"invariant violation: {workload} on {name}: "
+                  f"{record.invariant_error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -154,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--check", action="store_true",
                        help="enable the sequential value oracle (slower)")
+    _add_checking_flags(run_p)
 
     report_p = sub.add_parser("report", help="regenerate a paper artifact")
     report_p.add_argument("artifact", help=f"one of {sorted(ARTIFACTS)}")
@@ -166,8 +190,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=0,
                          help="parallel workers (0 = REPRO_JOBS or CPU "
                               "count; 1 = serial in-process)")
+    _add_checking_flags(sweep_p)
 
     return parser
+
+
+def _add_checking_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the coherence sanitizer (incremental "
+                             "invariant checks after every access; "
+                             "REPRO_SANITIZE=1 is the env equivalent)")
+    parser.add_argument("--sanitize-every", type=int, default=0,
+                        metavar="K",
+                        help="with --sanitize, also run a whole-machine "
+                             "invariant walk every K accesses (0 = off)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run a full invariant walk on the final "
+                             "machine state, recording pass/fail")
 
 
 _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {

@@ -1,14 +1,64 @@
-"""Hierarchical statistics counters.
+"""Hierarchical statistics counters and the central stat-key registry.
 
 Every component owns a :class:`StatGroup`; groups nest, counters are
 created on first use, and the whole tree can be flattened to a dict for
 reporting.  This keeps the simulators free of ad-hoc counter plumbing.
+
+:data:`STAT_KEYS` is the registry of every counter name the simulators
+use.  ``tools/lint_repro.py`` enforces it: any string literal passed to
+a ``stats``/``events`` method must appear here, so a typo'd key fails
+the lint gate instead of silently creating a dead counter.  Dynamic
+keys (f-strings) need a ``# lint: allow-dynamic-stat-key`` waiver on
+the offending line.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Dict, Iterator, Mapping
+
+#: Every counter name used with a literal key anywhere in the package.
+#: Keep sorted within each section; the lint gate rejects unknown keys.
+STAT_KEYS = frozenset({
+    # L1 / L2 reference counters (D2M and baselines)
+    "l1.d.accesses", "l1.d.hits", "l1.d.misses",
+    "l1.i.accesses", "l1.i.hits", "l1.i.misses",
+    "l2.d.accesses", "l2.d.hits",
+    "l2.i.accesses", "l2.i.hits",
+    # D2M protocol counters
+    "bypass.reads",
+    "evictions.llc", "evictions.llc_shared", "evictions.llc_untracked",
+    "evictions.replica",
+    "invalidations_received",
+    "md.md1_cross_hits", "md.md1_hits", "md.md2_hits", "md.misses",
+    "md2.accesses", "md2.prunes", "md2.spills",
+    "md3.global_evictions",
+    "mem_reads_redirected",
+    "misses.private_region",
+    "ns.d.local_hits", "ns.d.remote_hits",
+    "ns.i.local_hits", "ns.i.remote_hits",
+    "ns.replications",
+    "reprivatizations",
+    # D2M event taxonomy (paper appendix; StatGroup "events")
+    "A", "A_llc", "A_mem", "A_node",
+    "B", "C",
+    "D1", "D2", "D3", "D4",
+    "E", "F",
+    # MD3 store + region locks (child groups "md3" / "md3.locks")
+    "acquires", "collisions", "fills", "forced_region_evictions",
+    "lookups", "releases",
+    # Baseline directory protocol
+    "llc_recalls", "node_evictions",
+    "reads.llc", "reads.memory", "reads.remote_node", "reads.self_owner",
+    "upgrades",
+    "writes.llc", "writes.memory",
+    # Main memory / TLB (child groups "dram" / "tlb")
+    "accesses", "l1_hits", "l2_hits", "reads", "walks", "writes",
+    # NoC (child group "noc")
+    "bytes", "energy_pj", "messages",
+    # Energy accounting (child group "energy")
+    "dram.accesses", "dram.dynamic_pj",
+})
 
 
 class StatGroup:

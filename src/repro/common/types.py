@@ -10,6 +10,26 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class EventTracer(Protocol):
+    """Duck-typed event sink the core hierarchies report into.
+
+    Implemented by :class:`repro.analysis.sanitizer.CoherenceSanitizer`;
+    declared here so core modules can type their optional ``tracer``
+    attribute without importing analysis code.
+    """
+
+    def begin_access(self, node: int, line: int, region: int, idx: int,
+                     detail: str = "") -> None: ...
+
+    def emit(self, kind: str, node: Optional[int] = None,
+             line: Optional[int] = None, region: Optional[int] = None,
+             idx: Optional[int] = None, detail: str = "") -> None: ...
+
+    def end_access(self) -> None: ...
 
 
 class AccessKind(enum.Enum):

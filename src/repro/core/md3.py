@@ -20,6 +20,7 @@ from typing import Optional
 from repro.common.errors import InvariantViolation, ProtocolError
 from repro.common.params import SystemConfig
 from repro.common.stats import StatGroup
+from repro.common.types import EventTracer
 from repro.core.li import LI
 from repro.core.regions import MD3Entry, RegionClass, fresh_li_array
 from repro.mem.sram import SetAssocStore
@@ -81,6 +82,9 @@ class MD3Store:
         self._scramble_bits = (
             config.policy.scramble_bits if config.policy.dynamic_indexing else 0
         )
+        # Duck-typed event hook (see repro.analysis.sanitizer); None means
+        # zero tracing overhead.
+        self.tracer: Optional[EventTracer] = None
 
     def lookup(self, pregion: int) -> Optional[MD3Entry]:
         self.stats.add("lookups")
@@ -137,10 +141,15 @@ class MD3Store:
                 f"{victim[0]:#x} without a global eviction"
             )
         self.stats.add("fills")
+        if self.tracer is not None:
+            self.tracer.emit("md3.fill", region=pregion)
         return entry
 
     def drop(self, pregion: int) -> Optional[MD3Entry]:
-        return self._store.invalidate(pregion)
+        entry = self._store.invalidate(pregion)
+        if entry is not None and self.tracer is not None:
+            self.tracer.emit("md3.drop", region=pregion)
+        return entry
 
     def __iter__(self):
         return iter(self._store)

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from repro.common.errors import InvariantViolation
 from repro.common.params import SystemConfig
-from repro.common.types import AccessKind
+from repro.common.types import AccessKind, EventTracer
 from repro.core.datastore import DataArray
 from repro.core.li import LI
 from repro.core.regions import ActiveSite, MD1Entry, MD2Entry
@@ -62,6 +62,9 @@ class D2MNode:
             DataArray(f"n{node}.l2", config.l2.sets, config.l2.ways)
             if config.l2 else None
         )
+        # Duck-typed event hook (see repro.analysis.sanitizer); None means
+        # zero tracing overhead.
+        self.tracer: Optional[EventTracer] = None
 
     # ------------------------------------------------------------- arrays
 
@@ -186,6 +189,9 @@ class D2MNode:
             self._spill_md1(victim[1])
         md2_entry.active_in = site
         md2_entry.tp_vregion = vregion
+        if self.tracer is not None:
+            self.tracer.emit("md1.promote", node=self.node,
+                             region=md2_entry.pregion, detail=site.name)
         return entry
 
     def _spill_md1(self, md1_entry: MD1Entry) -> None:
@@ -202,6 +208,11 @@ class D2MNode:
         md2_entry.rehits = md1_entry.rehits
         md2_entry.active_in = ActiveSite.MD2
         md2_entry.tp_vregion = None
+        # The spilled victim usually belongs to a *different* region than
+        # the access that displaced it.
+        if self.tracer is not None:
+            self.tracer.emit("md1.spill", node=self.node,
+                             region=md1_entry.pregion)
 
     def drop_md1(self, pregion: int) -> None:
         """Remove the region's MD1 entry (if any) without spilling."""
@@ -213,6 +224,8 @@ class D2MNode:
         store.invalidate(md2_entry.tp_vregion)
         md2_entry.active_in = ActiveSite.MD2
         md2_entry.tp_vregion = None
+        if self.tracer is not None:
+            self.tracer.emit("md1.drop", node=self.node, region=pregion)
 
     # ------------------------------------------------------------- MD2 fills
 
@@ -263,9 +276,16 @@ class D2MNode:
             victim_entry.rehits = md1_entry.rehits
             victim_entry.active_in = ActiveSite.MD2
             victim_entry.tp_vregion = None
+            if self.tracer is not None:
+                self.tracer.emit("md1.spill", node=self.node,
+                                 region=victim_entry.pregion,
+                                 detail="md2-victim")
         return victim_entry
 
     def drop_md2(self, pregion: int) -> Optional[MD2Entry]:
         """Remove a region's metadata entirely (MD1 entry included)."""
         self.drop_md1(pregion)
-        return self.md2.invalidate(pregion)
+        entry = self.md2.invalidate(pregion)
+        if entry is not None and self.tracer is not None:
+            self.tracer.emit("md2.drop", node=self.node, region=pregion)
+        return entry

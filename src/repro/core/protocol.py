@@ -44,7 +44,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.errors import InvariantViolation, ProtocolError
 from repro.common.params import LLCPlacement, SystemConfig, SystemKind
 from repro.common.stats import StatGroup
-from repro.common.types import Access, AccessKind, AccessResult, HitLevel
+from repro.common.types import (
+    Access,
+    AccessKind,
+    AccessResult,
+    EventTracer,
+    HitLevel,
+)
 from repro.core.datastore import DataArray, DataLine, LineRole
 from repro.core.li import LI, LIKind
 from repro.core.llc import BaseLLC, SlotRef, build_llc, llc_victim_cost
@@ -83,6 +89,9 @@ class D2MProtocol:
         self.config = config
         self.amap = AddressMap(config.line_size, config.region_lines,
                                config.page_size)
+        # Duck-typed event hook (see repro.analysis.sanitizer); the core
+        # stays import-free of analysis code.  None = zero overhead.
+        self.tracer: Optional[EventTracer] = None
         self.stats = StatGroup(config.name)
         self.events = self.stats.child("events")
         self.energy = EnergyAccountant(self.stats.child("energy"))
@@ -127,6 +136,9 @@ class D2MProtocol:
         return self.config.latency
 
     def _send(self, kind: MessageKind, src: int, dst: int) -> int:
+        if self.tracer is not None:
+            self.tracer.emit("noc.msg", node=src,
+                             detail=f"{kind.name}->{dst}")
         return self.network.send(kind, src, dst)
 
     def _charge_md1(self) -> None:
@@ -159,6 +171,11 @@ class D2MProtocol:
         vregion = self.amap.region_of(acc.vaddr)
 
         instr = acc.is_instruction
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_access(node_id, line, pregion, idx,
+                                detail="write" if acc.is_write else
+                                ("ifetch" if instr else "read"))
         self.stats.add(_KEY_ACCESSES[instr])
         if self._near_side:
             self._tick_pressure()
@@ -206,6 +223,8 @@ class D2MProtocol:
                 self.stats.add(_KEY_NS_LOCAL[instr])
             elif level is HitLevel.LLC_REMOTE:
                 self.stats.add(_KEY_NS_REMOTE[instr])
+        if tracer is not None:
+            tracer.end_access()
         return AccessResult(level, latency + extra, version=version,
                             private_region=private)
 
@@ -280,8 +299,13 @@ class D2MProtocol:
                 self._global_region_eviction(md3_victim)
             md3_entry = self.md3.create(pregion)
             self.events.add("D4")
+            if self.tracer is not None:
+                self.tracer.emit("md3.classify", node=node_id,
+                                 region=pregion, detail="D4")
             lock = self.md3.locks.acquire(pregion)
             md3_entry.pb.add(node_id)
+            if self.tracer is not None:
+                self.tracer.emit("md3.pb_add", node=node_id, region=pregion)
             li_array = list(md3_entry.li)
             private = True
             self.md3.locks.release(lock)
@@ -293,26 +317,43 @@ class D2MProtocol:
                 # region's LLC masters become node-tracked (deferred until
                 # the node's metadata entry exists below).
                 self.events.add("D1")
+                if self.tracer is not None:
+                    self.tracer.emit("md3.classify", node=node_id,
+                                     region=pregion, detail="D1")
                 li_array = list(md3_entry.li)
                 private = True
                 md3_entry.pb.add(node_id)
+                if self.tracer is not None:
+                    self.tracer.emit("md3.pb_add", node=node_id,
+                                     region=pregion)
                 retrack_to = node_id
                 md3_entry.li = [LI.invalid()] * self.config.region_lines
             elif pb_count == 1 and node_id not in md3_entry.pb:
                 # D2: private -> shared. GetMD conversion at the owner.
                 self.events.add("D2")
+                if self.tracer is not None:
+                    self.tracer.emit("md3.classify", node=node_id,
+                                     region=pregion, detail="D2")
                 owner = md3_entry.sole_owner()
                 latency += self._send(MessageKind.GET_MD, FAR_SIDE_HUB, owner)
                 latency += self._convert_private_to_shared(owner, pregion,
                                                            md3_entry)
                 latency += self._send(MessageKind.MD_REPLY, owner, FAR_SIDE_HUB)
                 md3_entry.pb.add(node_id)
+                if self.tracer is not None:
+                    self.tracer.emit("md3.pb_add", node=node_id,
+                                     region=pregion)
                 li_array = list(md3_entry.li)
                 private = False
             else:
                 # D3: shared -> shared.
                 self.events.add("D3")
                 md3_entry.pb.add(node_id)
+                if self.tracer is not None:
+                    self.tracer.emit("md3.classify", node=node_id,
+                                     region=pregion, detail="D3")
+                    self.tracer.emit("md3.pb_add", node=node_id,
+                                     region=pregion)
                 li_array = list(md3_entry.li)
                 private = False
             self.md3.locks.release(lock)
@@ -349,6 +390,9 @@ class D2MProtocol:
         the node may hold a stale-but-valid MEM pointer for a line that
         another (since departed) sharer filled into the LLC.
         """
+        if self.tracer is not None:
+            self.tracer.emit("llc.retrack", region=pregion,
+                             detail=f"to={to_node}")
         for ref, slot in self.llc.lines_of_region(pregion):
             if slot.role is not LineRole.MASTER:
                 continue
@@ -364,6 +408,8 @@ class D2MProtocol:
     def _convert_private_to_shared(self, owner_id: int, pregion: int,
                                    md3_entry: MD3Entry) -> int:
         """Event D2's GetMD: publish the owner's LI array globally."""
+        if self.tracer is not None:
+            self.tracer.emit("region.share", node=owner_id, region=pregion)
         owner = self.nodes[owner_id]
         self._charge_md2()
         latency = self._lat.md2
@@ -543,6 +589,9 @@ class D2MProtocol:
             line, pregion, version, dirty=False,
             role=LineRole.REPLICA, rp=master, tracked_by_node=node_id,
         ))
+        if self.tracer is not None:
+            self.tracer.emit("llc.fill", node=node_id, line=line,
+                             region=pregion, detail="ns-replica")
         self.energy.charge_write("llc_data")
         l1_slot = self._local_slot(self.nodes[node_id], cur, line, scramble)
         l1_slot.rp = self.llc.li_for(rep_ref)
@@ -659,12 +708,20 @@ class D2MProtocol:
                 ))
                 md3_entry.li[idx] = loc
                 self._charge_md3()
+                if self.tracer is not None:
+                    self.tracer.emit("llc.fill", node=node_id, line=line,
+                                     region=pregion, idx=idx,
+                                     detail="mem-master")
             else:
                 self.llc.fill(rep_ref, DataLine(
                     line, pregion, version, dirty=False,
                     role=LineRole.REPLICA, rp=LI.mem(),
                     tracked_by_node=node_id,
                 ))
+                if self.tracer is not None:
+                    self.tracer.emit("llc.fill", node=node_id, line=line,
+                                     region=pregion, idx=idx,
+                                     detail="mem-replica")
             self.energy.charge_write("llc_data")
             endpoint = self.llc.endpoint(rep_ref)
             if endpoint != node_id:
@@ -809,6 +866,9 @@ class D2MProtocol:
           becomes the victim slot and the true master beyond it is freed.
         * old master in memory: RP defaults to memory.
         """
+        if self.tracer is not None:
+            self.tracer.emit("master.claim", node=node_id, line=line,
+                             region=pregion, detail=f"from={old_master}")
         if old_master is None or old_master.kind is LIKind.MEM:
             return LI.mem()
         if old_master.is_llc:
@@ -840,6 +900,8 @@ class D2MProtocol:
     def _free_llc_master(self, li: LI, line: int, pregion: int,
                          scramble: int) -> None:
         """Drop a superseded LLC master copy (its data is now stale)."""
+        if self.tracer is not None:
+            self.tracer.emit("llc.free_master", line=line, region=pregion)
         ref = self.llc.resolve(li, line, scramble)
         slot = self.llc.get(ref)
         if slot is None or slot.line != line:
@@ -973,6 +1035,9 @@ class D2MProtocol:
                 continue
             branch = self._send(MessageKind.INVALIDATE, FAR_SIDE_HUB, target)
             self.stats.add("invalidations_received")
+            if self.tracer is not None:
+                self.tracer.emit("inv.apply", node=target, line=line,
+                                 region=pregion, idx=idx)
             branch += self._apply_invalidation(target, pregion, idx, line,
                                                new_li)
             branch += self._send(MessageKind.INV_ACK, target, node_id)
@@ -992,6 +1057,9 @@ class D2MProtocol:
     def _invalidate_master_node(self, master_id: int, writer_id: int,
                                 pregion: int, idx: int, line: int) -> int:
         """Pull the line out of the node that masters it (event C)."""
+        if self.tracer is not None:
+            self.tracer.emit("inv.master", node=master_id, line=line,
+                             region=pregion, idx=idx)
         master = self.nodes[master_id]
         remote_li = master.li_of(pregion, idx)
         if not remote_li.is_local_cache:
@@ -1091,8 +1159,12 @@ class D2MProtocol:
         for _ref, slot in self.llc.lines_of_region(pregion):
             if slot.tracked_by_node == target_id:
                 return False
+        if self.tracer is not None:
+            self.tracer.emit("md2.prune", node=target_id, region=pregion)
         target.drop_md2(pregion)
         md3_entry.pb.discard(target_id)
+        if self.tracer is not None:
+            self.tracer.emit("md3.pb_clear", node=target_id, region=pregion)
         self._send(MessageKind.MD2_SPILL, target_id, FAR_SIDE_HUB)
         self.stats.add("md2.prunes")
         return True
@@ -1106,6 +1178,9 @@ class D2MProtocol:
         once MD3's LI is invalidated those LLC masters would be tracked by
         nobody, so the owner's pointers are reconciled with MD3's first.
         """
+        if self.tracer is not None:
+            self.tracer.emit("region.privatize", node=node_id,
+                             region=pregion)
         node = self.nodes[node_id]
         node.set_region_private(pregion, True)
         if md3_entry.li:
@@ -1123,6 +1198,10 @@ class D2MProtocol:
                        idx: int, incoming: DataLine, scramble: int) -> None:
         """Place a line into the node's L1 (evicting as needed) and point
         the node's LI at it."""
+        if self.tracer is not None:
+            self.tracer.emit("l1.install", node=node_id, line=incoming.line,
+                             region=pregion, idx=idx,
+                             detail=incoming.role.value)
         node = self.nodes[node_id]
         array = node.l1(instr)
         set_idx = array.set_of(incoming.line, scramble)
@@ -1143,6 +1222,12 @@ class D2MProtocol:
     def _handle_local_eviction(self, node_id: int, from_array: DataArray,
                                slot: DataLine) -> None:
         """A line left one of the node's arrays (already cleared)."""
+        if self.tracer is not None:
+            # The victim may belong to a different region than the access
+            # that displaced it — emit with the victim's region so the
+            # sanitizer re-checks it.
+            self.tracer.emit("node.evict", node=node_id, line=slot.line,
+                             region=slot.region, detail=slot.role.value)
         node = self.nodes[node_id]
         pregion = slot.region
         idx = self.amap.line_index_in_region(slot.line)
@@ -1217,6 +1302,10 @@ class D2MProtocol:
         about to lose the region's metadata.
         """
         line, pregion = slot.line, slot.region
+        if self.tracer is not None:
+            self.tracer.emit("master.relocate", node=node_id, line=line,
+                             region=pregion, idx=idx,
+                             detail="private" if private else "shared")
         rp = slot.rp if slot.rp is not None else LI.mem()
 
         vslot: Optional[DataLine] = None
@@ -1336,6 +1425,12 @@ class D2MProtocol:
         """Release one LLC slot, updating whoever tracks it."""
         line, pregion = slot.line, slot.region
         idx = self.amap.line_index_in_region(line)
+        if self.tracer is not None:
+            # LLC victims routinely belong to other regions than the
+            # access allocating the slot; emit with the victim's region.
+            self.tracer.emit("llc.evict", node=slot.tracked_by_node,
+                             line=line, region=pregion, idx=idx,
+                             detail=slot.role.value)
         self.stats.add("evictions.llc")
 
         if slot.tracked_by_node is None:
@@ -1409,6 +1504,9 @@ class D2MProtocol:
             return
         if slot.version < self.memory.peek(slot.line):
             return  # stale reserved-victim data; newer data already committed
+        if self.tracer is not None:
+            self.tracer.emit("mem.writeback", line=slot.line,
+                             region=slot.region)
         self.memory.write_line(slot.line, slot.version)
         self.energy.charge_dram()
         endpoint = self.llc.endpoint(ref)
@@ -1426,6 +1524,10 @@ class D2MProtocol:
         regions the final LI array travels with the spill so the region
         becomes untracked).
         """
+        if self.tracer is not None:
+            # A spill is triggered by an access to a *different* region;
+            # emit with the spilled region so it is re-checked.
+            self.tracer.emit("md2.spill", node=node_id, region=pregion)
         node = self.nodes[node_id]
         holder = node.active_holder(pregion)
         private = holder.private
@@ -1512,6 +1614,8 @@ class D2MProtocol:
                 f"{node_id} in MD3"
             )
         md3_entry.pb.discard(node_id)
+        if self.tracer is not None:
+            self.tracer.emit("md3.pb_clear", node=node_id, region=pregion)
         if private:
             final = list(node.active_holder(pregion).li)
             for idx, li in enumerate(final):
@@ -1526,6 +1630,8 @@ class D2MProtocol:
     def _global_region_eviction(self, md3_entry: MD3Entry) -> None:
         """MD3 replacement: purge a region from the entire machine."""
         pregion = md3_entry.pregion
+        if self.tracer is not None:
+            self.tracer.emit("md3.global_evict", region=pregion)
         self.stats.add("md3.global_evictions")
         for target_id in sorted(md3_entry.pb):
             self._send(MessageKind.INVALIDATE, FAR_SIDE_HUB, target_id)

@@ -57,6 +57,12 @@ class RunRecord:
     mem_reads_redirected: float = 0.0
     direct_ns_fraction: float = 0.0  # MD1-hit accesses (footnote-5 metric)
 
+    # correctness-checking provenance (sanitizer / invariant walk)
+    sanitized: bool = False           # ran with the coherence sanitizer
+    invariants_checked: bool = False  # final-state invariant walk performed
+    invariants_ok: bool = True        # walk passed (vacuously True otherwise)
+    invariant_error: str = ""         # first violation message when not ok
+
     def to_json(self) -> dict:
         return asdict(self)
 
@@ -73,8 +79,8 @@ def record_from_outcome(outcome, category: str) -> RunRecord:
     total_bar = split["standard"] + split["d2m-only"]
 
     def l2_ratio(instr: bool) -> float:
-        hits = stats.get(f"l2.{'i' if instr else 'd'}.hits")
-        misses = stats.get(f"l1.{'i' if instr else 'd'}.misses")
+        hits = stats.get("l2.i.hits" if instr else "l2.d.hits")
+        misses = stats.get("l1.i.misses" if instr else "l1.d.misses")
         return hits / misses if misses else 0.0
 
     accesses = result.accesses or 1
@@ -110,6 +116,10 @@ def record_from_outcome(outcome, category: str) -> RunRecord:
         md_misses=stats.get("md.misses"),
         mem_reads_redirected=stats.get("mem_reads_redirected"),
         direct_ns_fraction=md1 / accesses if accesses else 0.0,
+        sanitized=outcome.sanitized,
+        invariants_checked=outcome.invariants_checked,
+        invariants_ok=outcome.invariants_ok,
+        invariant_error=outcome.invariant_error,
     )
 
 

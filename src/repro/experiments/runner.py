@@ -40,7 +40,7 @@ from repro.workloads.registry import CATEGORIES, get_spec, workload_names
 Matrix = Dict[str, Dict[str, RunRecord]]
 
 #: bump when RunRecord's schema or the simulation semantics change
-RUN_FORMAT = 4
+RUN_FORMAT = 5
 
 
 class SweepError(RuntimeError):
@@ -49,9 +49,16 @@ class SweepError(RuntimeError):
     def __init__(self, failures: List[RunFailure]):
         self.failures = failures
         lines = "\n".join(f"  - {failure}" for failure in failures)
-        super().__init__(
-            f"{len(failures)} run(s) failed (completed runs are cached; "
-            f"rerun to retry only the failures):\n{lines}")
+        message = (f"{len(failures)} run(s) failed (completed runs are "
+                   f"cached; rerun to retry only the failures):\n{lines}")
+        # Surface the first failure's full detail (e.g. the sanitizer's
+        # forensic event timeline) instead of just its summary line.
+        first = failures[0] if failures else None
+        if first is not None and first.error:
+            message += ("\nfirst failure detail:\n"
+                        + "\n".join(f"    {line}" for line
+                                    in first.error.strip().splitlines()))
+        super().__init__(message)
 
 
 def sweep_workloads() -> List[str]:
@@ -131,7 +138,9 @@ def _simulate_record(spec: RunSpec) -> dict:
 def get_matrix(workloads: Optional[Iterable[str]] = None,
                configs: Optional[Iterable[SystemConfig]] = None,
                instructions: int = 0, seed: int = 1,
-               quiet: bool = False, jobs: Optional[int] = None) -> Matrix:
+               quiet: bool = False, jobs: Optional[int] = None,
+               sanitize: bool = False, sanitize_every: int = 0,
+               check_invariants: bool = False) -> Matrix:
     """The shared run matrix, assembled from per-run cache records.
 
     Missing runs are simulated — in parallel when ``jobs`` (or
@@ -139,6 +148,12 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
     persisted the moment it lands, so interrupting the sweep never loses
     completed work.  If any run fails, the rest still complete and a
     :class:`SweepError` listing the failures is raised at the end.
+
+    ``sanitize``/``check_invariants`` attach the coherence sanitizer /
+    run a final-state invariant walk on each simulated run.  A sanitized
+    run produces identical statistics, so its record also serves
+    unchecked sweeps — but a cached record that *lacks* a requested
+    check is treated as a miss and re-simulated.
     """
     workload_list = list(workloads) if workloads else sweep_workloads()
     config_list = list(configs) if configs else list(all_configs())
@@ -154,9 +169,15 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
             path = run_record_path(workload, config.name, budget, seed,
                                    warmup)
             record = None if fresh else _load_record(path)
+            if record is not None and ((sanitize and not record.sanitized) or
+                                       (check_invariants
+                                        and not record.invariants_checked)):
+                record = None  # cached run skipped a requested check
             if record is None:
                 pending.append(
-                    (RunSpec(config, workload, budget, seed, warmup=warmup),
+                    (RunSpec(config, workload, budget, seed, warmup=warmup,
+                             sanitize=sanitize, sanitize_every=sanitize_every,
+                             check_invariants=check_invariants),
                      path))
             else:
                 matrix[workload][config.name] = record

@@ -91,4 +91,4 @@ class Network:
         self.stats.set("bytes", self.total_bytes)
         self.stats.set("energy_pj", self.energy_pj)
         for name, value in self.messages_by_class().items():
-            self.stats.set(f"messages.{name}", value)
+            self.stats.set(f"messages.{name}", value)  # lint: allow-dynamic-stat-key

@@ -52,8 +52,21 @@ class RunFailure:
     error: str
 
     def __str__(self) -> str:
-        summary = self.error.strip().splitlines()[-1] if self.error else "?"
-        return f"{self.workload} on {self.config} (seed {self.seed}): {summary}"
+        return (f"{self.workload} on {self.config} (seed {self.seed}): "
+                f"{self.summary()}")
+
+    def summary(self) -> str:
+        """The exception line of the traceback.
+
+        Multi-line exception messages (e.g. the sanitizer's forensic
+        report) indent their continuation lines, so the exception line
+        is the *last non-indented* line, not the last line.
+        """
+        lines = self.error.strip().splitlines() if self.error else []
+        for line in reversed(lines):
+            if line and not line[0].isspace():
+                return line
+        return lines[-1] if lines else "?"
 
 
 def execute_runs(

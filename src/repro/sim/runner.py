@@ -6,9 +6,11 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.common.errors import InvariantViolation
 from repro.common.params import SystemConfig
 from repro.common.types import HitLevel
 from repro.core.hierarchy import build_hierarchy
+from repro.core.invariants import check_invariants as _full_invariant_walk
 from repro.sim.perf import PerfModel, PerfSummary
 from repro.sim.simulator import SimResult, Simulator
 from repro.workloads.registry import make_workload
@@ -33,6 +35,17 @@ def warmup_budget(instructions: int) -> int:
     return int(instructions * DEFAULT_WARMUP_FRACTION)
 
 
+def sanitize_default() -> bool:
+    """Whether REPRO_SANITIZE asks for sanitized runs by default."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def sanitize_every_default() -> int:
+    """Full-walk sampling period from REPRO_SANITIZE_EVERY (0 = off)."""
+    value = os.environ.get("REPRO_SANITIZE_EVERY", "")
+    return int(value) if value else 0
+
+
 @dataclass
 class RunSpec:
     """One (system, workload) simulation request."""
@@ -43,6 +56,9 @@ class RunSpec:
     seed: int = 1
     check_values: bool = False  # oracle checking is for tests; slow
     warmup: Optional[int] = None  # None = REPRO_WARMUP or the default fraction
+    sanitize: bool = False        # attach the coherence sanitizer (D2M only)
+    sanitize_every: int = 0       # full-walk sampling period (0 = off)
+    check_invariants: bool = False  # full invariant walk on the final state
 
 
 @dataclass
@@ -53,6 +69,10 @@ class RunOutcome:
     result: SimResult
     perf: PerfSummary
     hierarchy: object
+    sanitized: bool = False         # ran with the coherence sanitizer attached
+    invariants_checked: bool = False  # final-state invariant walk performed
+    invariants_ok: bool = True      # walk passed (vacuously True otherwise)
+    invariant_error: str = ""       # first violation message when not ok
 
     # -- Figure 5 ---------------------------------------------------------
 
@@ -129,28 +149,61 @@ class RunOutcome:
 def run_workload(config: SystemConfig, workload_name: str,
                  instructions: int = 0, seed: int = 1,
                  check_values: bool = False,
-                 warmup: Optional[int] = None) -> RunOutcome:
+                 warmup: Optional[int] = None,
+                 sanitize: Optional[bool] = None,
+                 sanitize_every: Optional[int] = None,
+                 check_invariants: bool = False) -> RunOutcome:
     """Simulate one workload on one system configuration.
 
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` (or
     the default fraction); passing it explicitly pins the run so workers
     in other processes reproduce it bit-for-bit regardless of their
-    environment.
+    environment.  ``sanitize``/``sanitize_every`` default from
+    ``REPRO_SANITIZE``/``REPRO_SANITIZE_EVERY`` the same way; a
+    sanitizer violation raises out of the run, while
+    ``check_invariants`` records the final-state walk's pass/fail on the
+    outcome instead of raising.
     """
     budget = instructions or instruction_budget()
     roi_warmup = warmup if warmup is not None else warmup_budget(budget)
+    do_sanitize = sanitize if sanitize is not None else sanitize_default()
+    every = (sanitize_every if sanitize_every is not None
+             else sanitize_every_default())
     hierarchy = build_hierarchy(config)
+    protocol = getattr(hierarchy, "protocol", None)
+    sanitizer = None
+    if do_sanitize:
+        from repro.analysis.sanitizer import attach_sanitizer
+        sanitizer = attach_sanitizer(hierarchy, every=every)
     workload = make_workload(workload_name, config.nodes, hierarchy.amap,
                              seed=seed)
     simulator = Simulator(hierarchy, check_values=check_values)
     result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup)
     perf = PerfModel(config.ooo).summarize(result)
+    invariants_checked = False
+    invariants_ok = True
+    invariant_error = ""
+    if check_invariants:
+        invariants_checked = True
+        if protocol is not None:  # baselines pass vacuously
+            try:
+                _full_invariant_walk(protocol)
+            except InvariantViolation as exc:
+                invariants_ok = False
+                invariant_error = str(exc)
     return RunOutcome(
         spec=RunSpec(config, workload_name, budget, seed, check_values,
-                     roi_warmup),
+                     roi_warmup, sanitize=do_sanitize, sanitize_every=every,
+                     check_invariants=check_invariants),
         result=result,
         perf=perf,
         hierarchy=hierarchy,
+        # Baselines have no protocol to sanitize; a requested sanitize is
+        # vacuously satisfied for them (mirrors the invariant walk).
+        sanitized=sanitizer is not None or (do_sanitize and protocol is None),
+        invariants_checked=invariants_checked,
+        invariants_ok=invariants_ok,
+        invariant_error=invariant_error,
     )
 
 
@@ -158,13 +211,18 @@ def run_spec(spec: RunSpec) -> RunOutcome:
     """Execute one :class:`RunSpec` — the unit parallel workers run."""
     return run_workload(spec.config, spec.workload, spec.instructions,
                         spec.seed, check_values=spec.check_values,
-                        warmup=spec.warmup)
+                        warmup=spec.warmup, sanitize=spec.sanitize,
+                        sanitize_every=spec.sanitize_every,
+                        check_invariants=spec.check_invariants)
 
 
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],
                instructions: int = 0, seed: int = 1,
                progress=None, check_values: bool = False,
-               jobs: int = 1) -> Dict[str, Dict[str, RunOutcome]]:
+               jobs: int = 1, sanitize: bool = False,
+               sanitize_every: int = 0,
+               check_invariants: bool = False
+               ) -> Dict[str, Dict[str, RunOutcome]]:
     """All (workload, config) runs: ``matrix[workload][config.name]``.
 
     ``jobs > 1`` fans the runs out over worker processes (see
@@ -174,11 +232,14 @@ def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],
     from repro.sim.parallel import execute_runs
 
     configs = list(configs)
-    specs = [RunSpec(config, workload_name, instructions, seed, check_values)
+    specs = [RunSpec(config, workload_name, instructions, seed, check_values,
+                     sanitize=sanitize, sanitize_every=sanitize_every,
+                     check_invariants=check_invariants)
              for workload_name in workloads for config in configs]
     if progress is not None:
-        wrapped = lambda done, total, spec: progress(spec.workload,
-                                                     spec.config.name)
+        def wrapped(done, total, spec):
+            del done, total
+            progress(spec.workload, spec.config.name)
     else:
         wrapped = None
     results, failures = execute_runs(specs, run_spec, jobs=jobs,

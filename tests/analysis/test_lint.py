@@ -1,0 +1,93 @@
+"""The stats-key lint gate: registry enforcement and waivers."""
+
+from pathlib import Path
+
+from repro.common.stats import STAT_KEYS
+from tools.lint_repro import REPO_ROOT, lint_paths, main
+
+
+def lint_source(tmp_path, source, name="fixture.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_paths([path])
+
+
+class TestRegistryEnforcement:
+    def test_whole_package_is_clean(self):
+        assert lint_paths([REPO_ROOT / "src" / "repro"]) == []
+
+    def test_registered_literal_passes(self, tmp_path):
+        assert lint_source(tmp_path, 'stats.add("l1.i.hits")\n') == []
+
+    def test_typoed_key_fails(self, tmp_path):
+        problems = lint_source(tmp_path, 'stats.add("l1.i.acceses")\n')
+        assert len(problems) == 1
+        assert "l1.i.acceses" in problems[0]
+        assert "STAT_KEYS" in problems[0]
+
+    def test_typoed_key_on_events_receiver_fails(self, tmp_path):
+        problems = lint_source(tmp_path, 'self.events.add("D5")\n')
+        assert len(problems) == 1 and '"D5"' in problems[0]
+
+    def test_ratio_checks_both_keys(self, tmp_path):
+        problems = lint_source(
+            tmp_path, 'stats.ratio("l1.i.hits", "l1.i.acceses")\n')
+        assert len(problems) == 1 and "l1.i.acceses" in problems[0]
+
+    def test_non_stat_receiver_ignored(self, tmp_path):
+        assert lint_source(tmp_path, 'cache.add("whatever")\n') == []
+
+    def test_conditional_expression_both_arms_checked(self, tmp_path):
+        ok = 'stats.get("l2.i.hits" if instr else "l2.d.hits")\n'
+        bad = 'stats.get("l2.i.hits" if instr else "l2.d.hitz")\n'
+        assert lint_source(tmp_path, ok) == []
+        problems = lint_source(tmp_path, bad)
+        assert len(problems) == 1 and "l2.d.hitz" in problems[0]
+
+    def test_key_table_values_validated(self, tmp_path):
+        ok = ('_KEY_X = {True: "l1.i.hits", False: "l1.d.hits"}\n'
+              'stats.add(_KEY_X[flag])\n')
+        bad = '_KEY_X = {True: "l1.i.hits", False: "nope"}\n'
+        assert lint_source(tmp_path, ok) == []
+        problems = lint_source(tmp_path, bad)
+        assert len(problems) == 1 and '"nope"' in problems[0]
+
+    def test_plain_variable_key_passes(self, tmp_path):
+        assert lint_source(tmp_path,
+                           'for k in keys:\n    stats.get(k)\n') == []
+
+
+class TestDynamicKeyWaiver:
+    def test_fstring_key_fails_without_waiver(self, tmp_path):
+        problems = lint_source(tmp_path, 'stats.set(f"{name}.reads", 1)\n')
+        assert len(problems) == 1
+        assert "allow-dynamic-stat-key" in problems[0]
+
+    def test_fstring_key_passes_with_waiver(self, tmp_path):
+        source = ('stats.set(f"{name}.reads", 1)'
+                  '  # lint: allow-dynamic-stat-key\n')
+        assert lint_source(tmp_path, source) == []
+
+
+class TestCli:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text('stats.add("l1.i.hits")\n')
+        bad = tmp_path / "bad.py"
+        bad.write_text('stats.add("wrong.key")\n')
+        assert main([str(good)]) == 0
+        assert main([str(bad)]) == 1
+        assert "wrong.key" in capsys.readouterr().out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        problems = lint_source(tmp_path, "def broken(:\n")
+        assert len(problems) == 1 and "syntax error" in problems[0]
+
+
+class TestRegistryContents:
+    def test_registry_covers_event_taxonomy(self):
+        assert {"A", "B", "C", "D1", "D2", "D3", "D4", "E", "F"} <= STAT_KEYS
+
+    def test_registry_keys_are_strings(self):
+        assert all(isinstance(key, str) and key for key in STAT_KEYS)

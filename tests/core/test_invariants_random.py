@@ -13,6 +13,8 @@ from repro.common.params import d2m_fs, d2m_ns, d2m_ns_r
 from repro.core.hierarchy import build_hierarchy
 from repro.core.invariants import check_invariants
 
+pytestmark = pytest.mark.slow
+
 FACTORIES = (d2m_fs, d2m_ns, d2m_ns_r)
 
 

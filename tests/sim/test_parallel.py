@@ -95,3 +95,29 @@ class TestParallelPath:
                                          jobs=2)
         assert results == {}
         assert sorted(f.workload for f in failures) == ["lu", "water"]
+
+
+class TestFailureSummary:
+    def test_summary_is_exception_line(self):
+        failure = RunFailure("water", "D2M-FS", 1, error=(
+            "Traceback (most recent call last):\n"
+            "  File \"x.py\", line 1, in run\n"
+            "ValueError: boom\n"))
+        assert failure.summary() == "ValueError: boom"
+        assert "ValueError: boom" in str(failure)
+
+    def test_summary_skips_indented_forensic_report(self):
+        """Sanitizer violations carry a multi-line indented report; the
+        summary must be the exception line, not the report's last row."""
+        failure = RunFailure("water", "D2M-FS", 1, error=(
+            "Traceback (most recent call last):\n"
+            "  File \"x.py\", line 1, in run\n"
+            "SanitizerViolation: sanitizer: line 0x40 has 2 masters\n"
+            "  detected after access #7 (event seq 9, 9 events recorded)\n"
+            "  last events touching region 0x1:\n"
+            "    [     0] access           node=0 region=0x1\n"))
+        assert failure.summary() == (
+            "SanitizerViolation: sanitizer: line 0x40 has 2 masters")
+
+    def test_empty_error(self):
+        assert RunFailure("water", "D2M-FS", 1, error="").summary() == "?"

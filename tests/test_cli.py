@@ -74,3 +74,28 @@ class TestSweep:
         assert main(["sweep", "--workloads", "water",
                      "--instructions", "1200", "--jobs", "1"]) == 0
         assert "matrix ready" in capsys.readouterr().out
+
+    def test_sweep_sanitize_flags(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--workloads", "water",
+                     "--instructions", "1200", "--jobs", "1",
+                     "--sanitize", "--sanitize-every", "300",
+                     "--check-invariants"]) == 0
+        assert "matrix ready" in capsys.readouterr().out
+
+
+class TestRunCheckingFlags:
+    def test_run_reports_sanitizer_and_invariants(self, capsys):
+        assert main(["run", "--config", "d2m-fs", "--workload", "water",
+                     "--instructions", "1500", "--sanitize",
+                     "--check-invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer             clean" in out
+        assert "final invariants      ok" in out
+
+    def test_run_without_flags_prints_no_check_rows(self, capsys):
+        assert main(["run", "--config", "d2m-fs", "--workload", "water",
+                     "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer" not in out
+        assert "final invariants" not in out

@@ -1,0 +1,1 @@
+"""Repository maintenance tools (lint gate, etc.)."""

@@ -1,0 +1,179 @@
+"""Repo-specific AST lint: enforce the central stats-key registry.
+
+Every counter name passed as a string literal to a ``StatGroup`` method
+(``add``/``set``/``get``/``total``/``ratio`` on a receiver named
+``stats``, ``events``, or ``_stats``) must appear in
+``repro.common.stats.STAT_KEYS``.  A typo'd key would otherwise create a
+dead counter silently — reads return 0.0 and writes land in a counter
+nobody reports.
+
+Accepted key expressions:
+
+* a string literal present in the registry;
+* a conditional expression whose both arms are registered literals
+  (``"l2.i.hits" if instr else "l2.d.hits"``);
+* a subscript of a module-level ``_KEY_*`` dict table whose **values**
+  are validated against the registry at the table's definition;
+* any other dynamic expression (a variable, an attribute) — assumed to
+  be derived from registered keys upstream;
+* an f-string **only** when the line carries the waiver comment
+  ``# lint: allow-dynamic-stat-key``.
+
+Usage::
+
+    python -m tools.lint_repro [paths...]   # default: src/repro
+
+Exit status 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = [REPO_ROOT / "src" / "repro"]
+
+#: StatGroup methods whose string arguments are counter keys.
+KEY_METHODS = {"add": 1, "set": 1, "get": 1, "total": 1, "ratio": 2}
+#: Receiver names treated as StatGroup instances.
+STAT_RECEIVERS = {"stats", "events", "_stats"}
+WAIVER = "lint: allow-dynamic-stat-key"
+
+
+def _load_registry() -> frozenset:
+    """Import STAT_KEYS without requiring the package to be installed."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.common.stats import STAT_KEYS
+    return STAT_KEYS
+
+
+def _receiver_name(node: ast.expr) -> str:
+    """Terminal name of a call receiver (``self.stats`` -> ``stats``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_key_table_subscript(node: ast.expr) -> bool:
+    """Whether ``node`` is ``_KEY_FOO[...]`` (a validated key table)."""
+    return (isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id.startswith("_KEY_"))
+
+
+class StatKeyLinter(ast.NodeVisitor):
+    """Collects registry violations for one module."""
+
+    def __init__(self, path: Path, source: str, registry: frozenset) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.registry = registry
+        self.errors: List[Tuple[int, str]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _waived(self, lineno: int) -> bool:
+        line = self.lines[lineno - 1] if lineno <= len(self.lines) else ""
+        return WAIVER in line
+
+    def _error(self, lineno: int, message: str) -> None:
+        self.errors.append((lineno, message))
+
+    def _check_key(self, arg: ast.expr) -> None:
+        if isinstance(arg, ast.Constant):
+            if not isinstance(arg.value, str):
+                self._error(arg.lineno,
+                            f"stat key must be a string, got {arg.value!r}")
+            elif arg.value not in self.registry:
+                self._error(arg.lineno,
+                            f'unregistered stat key "{arg.value}" '
+                            f"(add it to repro.common.stats.STAT_KEYS)")
+        elif isinstance(arg, ast.IfExp):
+            self._check_key(arg.body)
+            self._check_key(arg.orelse)
+        elif isinstance(arg, ast.JoinedStr):
+            if not self._waived(arg.lineno):
+                self._error(arg.lineno,
+                            "dynamic (f-string) stat key; derive it from "
+                            "registered keys or add the waiver comment "
+                            f"'# {WAIVER}'")
+        # Other expressions (names, attributes, _KEY_* subscripts) pass.
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in KEY_METHODS
+                and _receiver_name(func.value) in STAT_RECEIVERS):
+            for arg in node.args[:KEY_METHODS[func.attr]]:
+                self._check_key(arg)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Module-level `_KEY_FOO = {...: "literal"}` tables: validate the
+        # values once here so subscripts of the table are trusted later.
+        if (len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.startswith("_KEY_")
+                and isinstance(node.value, ast.Dict)):
+            for value in node.value.values:
+                self._check_key(value)
+        self.generic_visit(node)
+
+
+def iter_python_files(paths: List[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: List[Path]) -> List[str]:
+    """Lint the given files/directories; returns formatted violations."""
+    registry = _load_registry()
+    problems: List[str] = []
+    for path in iter_python_files(paths):
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            problems.append(f"{path}:{exc.lineno}: syntax error: {exc.msg}")
+            continue
+        linter = StatKeyLinter(path, source, registry)
+        linter.visit(tree)
+        try:
+            shown = path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = path
+        problems.extend(f"{shown}:{lineno}: {message}"
+                        for lineno, message in sorted(linter.errors))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    paths = [Path(arg) for arg in argv] if argv else DEFAULT_PATHS
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"lint_repro: no such path: {path}", file=sys.stderr)
+        return 2
+    problems = lint_paths(paths)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
