@@ -75,6 +75,11 @@ class BaselineHierarchy:
             config.llc.sets, config.llc.ways
         )
         self.directory = Directory()
+        # Hot-path hoists: the latency table and address bit fields,
+        # resolved once instead of per access.
+        self._lat = config.latency
+        self._line_bits = self.amap.line_bits
+        self._page_bits = self.amap.page_bits
         self._register_energy()
 
     # ------------------------------------------------------------------ setup
@@ -98,10 +103,6 @@ class BaselineHierarchy:
         reg(sram_structure("llc_data", cfg.llc.size, 1.0, 0.0))
 
     # ------------------------------------------------------------------ helpers
-
-    @property
-    def _lat(self):
-        return self.config.latency
 
     def _llc_tag_latency(self) -> int:
         return self._lat.llc - self._lat.llc_data
@@ -127,69 +128,74 @@ class BaselineHierarchy:
             store_version: for stores, the oracle's new version number.
         """
         node = acc.core
-        line = self.amap.line_of(paddr)
+        line = paddr >> self._line_bits
+        kind = acc.kind
+        instr = kind is AccessKind.IFETCH
+        is_write = kind is AccessKind.STORE
         caches = self.nodes[node]
+        energy = self.energy
+        stats = self.stats
         latency = 0
 
         # TLB (L1-TLB latency is folded into the L1 pipeline stage).
-        tlb_result = self.tlbs[node].translate(acc.vaddr >> self.amap.page_bits)
-        self.energy.charge_read("tlb1")
+        tlb_result = self.tlbs[node].translate(acc.vaddr >> self._page_bits)
+        energy.charge_read("tlb1")
         if tlb_result.level >= 2:
-            self.energy.charge_read("tlb2")
+            energy.charge_read("tlb2")
             latency += tlb_result.latency - self._lat.tlb_l1
 
         # L1 lookup.
-        self.energy.charge_read("l1")
+        energy.charge_read("l1")
         latency += self._lat.l1
-        self.stats.add(_KEY_L1_ACC[acc.is_instruction])
-        copy = caches.l1_hit(acc.kind, line)
+        stats.add(_KEY_L1_ACC[instr])
+        copy = caches.l1_hit(kind, line)
         if copy is not None and caches.holds(line):
-            if not acc.is_write:
-                self.stats.add(_KEY_L1_HIT[acc.is_instruction])
+            if not is_write:
+                stats.add(_KEY_L1_HIT[instr])
                 return AccessResult(HitLevel.L1, latency, version=copy.version)
             if caches.state_of(line).can_write:
-                self.stats.add("l1.d.hits")
+                stats.add("l1.d.hits")
                 caches.write_hit(line, store_version)
                 return AccessResult(HitLevel.L1, latency, version=store_version)
             # Store hit on a Shared line: upgrade through the directory.
             latency += self._upgrade(node, line, store_version)
-            self.stats.add("l1.d.hits")  # data was present; only permission missed
-            self.stats.add("upgrades")
+            stats.add("l1.d.hits")  # data was present; only permission missed
+            stats.add("upgrades")
             return AccessResult(HitLevel.L1, latency, version=store_version)
 
-        self.stats.add(_KEY_L1_MISS[acc.is_instruction])
+        stats.add(_KEY_L1_MISS[instr])
 
         # L2 lookup (Base-3L).
         if caches.l2 is not None:
-            self.energy.charge_read("l2")
+            energy.charge_read("l2")
             latency += self._lat.l2
-            self.stats.add(_KEY_L2_ACC[acc.is_instruction])
+            stats.add(_KEY_L2_ACC[instr])
             copy2 = caches.l2_hit(line)
             if copy2 is not None and caches.holds(line):
                 state = caches.state_of(line)
-                if not acc.is_write:
-                    self.stats.add(_KEY_L2_HIT[acc.is_instruction])
-                    self._install(caches, acc.kind, line, copy2.version, state,
+                if not is_write:
+                    stats.add(_KEY_L2_HIT[instr])
+                    self._install(caches, kind, line, copy2.version, state,
                                   copy2.dirty)
                     return AccessResult(HitLevel.L2, latency, version=copy2.version)
                 if state.can_write:
-                    self.stats.add("l2.d.hits")
-                    self._install(caches, acc.kind, line, store_version, state, True)
+                    stats.add("l2.d.hits")
+                    self._install(caches, kind, line, store_version, state, True)
                     caches.write_hit(line, store_version)
                     return AccessResult(HitLevel.L2, latency, version=store_version)
-                self._install(caches, acc.kind, line, copy2.version, state,
+                self._install(caches, kind, line, copy2.version, state,
                               copy2.dirty)
                 latency += self._upgrade(node, line, store_version)
-                self.stats.add("l2.d.hits")
-                self.stats.add("upgrades")
+                stats.add("l2.d.hits")
+                stats.add("upgrades")
                 return AccessResult(HitLevel.L2, latency, version=store_version)
 
         # Global path across the NoC.
-        if acc.is_write:
-            level, extra, version = self._global_write(node, acc.kind, line,
+        if is_write:
+            level, extra, version = self._global_write(node, kind, line,
                                                        store_version)
         else:
-            level, extra, version = self._global_read(node, acc.kind, line)
+            level, extra, version = self._global_read(node, kind, line)
         return AccessResult(level, latency + extra, version=version)
 
     # ------------------------------------------------------------------ upgrade

@@ -6,6 +6,8 @@ Commands:
 * ``run`` — simulate one (system, workload) pair and print its summary.
 * ``report`` — regenerate a paper artifact (fig5/fig6/fig7/table4/...).
 * ``sweep`` — populate the shared run matrix cache up front.
+* ``bench`` — time the simulator itself over a pinned matrix and emit
+  a ``BENCH_<date>.json`` perf-tracking report.
 """
 
 from __future__ import annotations
@@ -159,6 +161,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import main as bench_main
+
+    return bench_main(quick=args.quick, out=args.out,
+                      check_equivalence=not args.no_equivalence)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "count; 1 = serial in-process)")
     _add_checking_flags(sweep_p)
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="benchmark the simulator over a pinned matrix "
+             "(emits BENCH_<date>.json)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="smaller instruction budget, single "
+                              "repetition (CI smoke mode)")
+    bench_p.add_argument("--out", default="",
+                         help="output JSON path (default BENCH_<date>.json "
+                              "in the current directory)")
+    bench_p.add_argument("--no-equivalence", action="store_true",
+                         help="skip the optimized-vs-reference stats "
+                              "equivalence gate (timing only)")
+
     return parser
 
 
@@ -214,6 +237,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _cmd_run,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

@@ -14,7 +14,6 @@ the offending line.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterator, Mapping
 
 #: Every counter name used with a literal key anywhere in the package.
@@ -62,18 +61,27 @@ STAT_KEYS = frozenset({
 
 
 class StatGroup:
-    """A named group of counters with optional nested sub-groups."""
+    """A named group of counters with optional nested sub-groups.
+
+    ``add`` sits on the simulation's per-access critical path (several
+    calls per simulated access), so the class is slotted and counters
+    live in a plain dict updated via one ``get`` — no ``defaultdict``
+    ``__missing__`` machinery, no per-instance ``__dict__`` lookups.
+    """
+
+    __slots__ = ("name", "_counters", "_children")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._counters: Dict[str, float] = defaultdict(float)
+        self._counters: Dict[str, float] = {}
         self._children: Dict[str, "StatGroup"] = {}
 
     # -- counters ---------------------------------------------------------
 
     def add(self, counter: str, amount: float = 1.0) -> None:
         """Increment ``counter`` by ``amount`` (creating it at zero)."""
-        self._counters[counter] += amount
+        counters = self._counters
+        counters[counter] = counters.get(counter, 0.0) + amount
 
     def set(self, counter: str, value: float) -> None:
         """Set ``counter`` to an absolute value."""
@@ -114,8 +122,9 @@ class StatGroup:
 
     def merge(self, other: "StatGroup") -> None:
         """Accumulate another group's counters (recursively) into this one."""
+        counters = self._counters
         for key, value in other._counters.items():
-            self._counters[key] += value
+            counters[key] = counters.get(key, 0.0) + value
         for name, sub in other._children.items():
             self.child(name).merge(sub)
 

@@ -117,8 +117,10 @@ class DataArray:
 
     def touch(self, set_idx: int, way: int) -> None:
         order = self._lru[set_idx]
-        order.remove(way)
-        order.append(way)
+        # Re-touching the MRU way (the hot-path common case) is a no-op.
+        if order[-1] != way:
+            order.remove(way)
+            order.append(way)
 
     # -- victim selection -----------------------------------------------------------
 

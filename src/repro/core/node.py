@@ -18,8 +18,7 @@ Metadata invariants maintained here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.common.errors import InvariantViolation
 from repro.common.params import SystemConfig
@@ -39,10 +38,16 @@ class LookupPath(enum.Enum):
     MISS = "miss"        # metadata miss -> MD3 (event D)
 
 
-@dataclass
 class LookupResult:
-    path: LookupPath
-    entry: Optional[object] = None  # MD1Entry or MD2Entry exposing li/private
+    """Outcome of one metadata lookup (slotted: one per simulated access)."""
+
+    __slots__ = ("path", "entry")
+
+    def __init__(self, path: LookupPath,
+                 entry: Optional[object] = None) -> None:
+        # entry: MD1Entry or MD2Entry exposing li/private
+        self.path = path
+        self.entry = entry
 
 
 class D2MNode:
@@ -96,8 +101,10 @@ class D2MNode:
         Access-side MD1 first, then the cross-side MD1, then MD2 (which
         promotes the region into the access-side MD1).
         """
-        primary = self.md1i if kind.is_instruction else self.md1d
-        secondary = self.md1d if kind.is_instruction else self.md1i
+        if kind is AccessKind.IFETCH:
+            primary, secondary = self.md1i, self.md1d
+        else:
+            primary, secondary = self.md1d, self.md1i
         entry = primary.lookup(vregion)
         if entry is not None:
             return LookupResult(LookupPath.MD1, entry)

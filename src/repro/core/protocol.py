@@ -53,7 +53,13 @@ from repro.common.types import (
 )
 from repro.core.datastore import DataArray, DataLine, LineRole
 from repro.core.li import LI, LIKind
-from repro.core.llc import BaseLLC, SlotRef, build_llc, llc_victim_cost
+from repro.core.llc import (
+    BaseLLC,
+    NearSideLLC,
+    SlotRef,
+    build_llc,
+    llc_victim_cost,
+)
 from repro.core.md3 import MD3Store, region_scramble
 from repro.core.node import D2MNode, LookupPath
 from repro.core.regions import ActiveSite, MD2Entry, MD3Entry, RegionClass
@@ -107,6 +113,16 @@ class D2MProtocol:
         )
         self._near_side = config.llc_placement is LLCPlacement.NEAR_SIDE
         self._bypass_enabled = config.policy.bypass_low_reuse
+        # Hot-path hoists, resolved once instead of per access: the
+        # latency table, the address-map bit fields, and a typed handle
+        # on the near-side LLC (the only variant with a pressure tick).
+        self._lat = config.latency
+        self._line_bits = self.amap.line_bits
+        self._region_bits = self.amap.region_bits
+        self._idx_mask = config.region_lines - 1
+        self._ns_llc: Optional[NearSideLLC] = (
+            self.llc if isinstance(self.llc, NearSideLLC) else None
+        )
         self._register_energy()
 
     # ------------------------------------------------------------------ setup
@@ -130,10 +146,6 @@ class D2MProtocol:
         reg(sram_structure("llc_data", cfg.llc.size, 1.0, 0.0))
 
     # ------------------------------------------------------------------ shorthands
-
-    @property
-    def _lat(self):
-        return self.config.latency
 
     def _send(self, kind: MessageKind, src: int, dst: int) -> int:
         if self.tracer is not None:
@@ -165,22 +177,24 @@ class D2MProtocol:
     def access(self, acc: Access, paddr: int, store_version: int = 0) -> AccessResult:
         """Run one memory reference through the D2M machine."""
         node_id = acc.core
-        line = self.amap.line_of(paddr)
-        pregion = self.amap.region_of(paddr)
-        idx = self.amap.line_in_region(paddr)
-        vregion = self.amap.region_of(acc.vaddr)
+        line = paddr >> self._line_bits
+        pregion = paddr >> self._region_bits
+        idx = line & self._idx_mask
+        vregion = acc.vaddr >> self._region_bits
+        kind = acc.kind
 
-        instr = acc.is_instruction
+        instr = kind is AccessKind.IFETCH
+        is_write = kind is AccessKind.STORE
         tracer = self.tracer
         if tracer is not None:
             tracer.begin_access(node_id, line, pregion, idx,
-                                detail="write" if acc.is_write else
+                                detail="write" if is_write else
                                 ("ifetch" if instr else "read"))
         self.stats.add(_KEY_ACCESSES[instr])
         if self._near_side:
             self._tick_pressure()
 
-        holder, latency, md_missed = self._metadata(node_id, acc.kind,
+        holder, latency, md_missed = self._metadata(node_id, kind,
                                                     vregion, pregion)
         li = holder.li[idx]
         if not li.is_valid:
@@ -189,17 +203,17 @@ class D2MProtocol:
                 f"tracked region"
             )
 
-        if acc.is_write:
+        if is_write:
             level, extra, version = self._write(
-                node_id, acc.kind, pregion, idx, line, li, holder, store_version
+                node_id, kind, pregion, idx, line, li, holder, store_version
             )
             if not md_missed and holder.private and level is not HitLevel.L1:
                 pass  # event B counted inside _write_private
         else:
             level, extra, version = self._read(
-                node_id, acc.kind, pregion, idx, line, li, holder
+                node_id, kind, pregion, idx, line, li, holder
             )
-            if level.is_l1_miss and not md_missed:
+            if not md_missed and level is not HitLevel.L1:
                 # Event A: read miss satisfied without MD3 interaction.
                 self.events.add("A")
                 if level in (HitLevel.LLC_LOCAL, HitLevel.LLC_REMOTE):
@@ -229,8 +243,8 @@ class D2MProtocol:
                             private_region=private)
 
     def _tick_pressure(self) -> None:
-        llc = self.llc
-        if hasattr(llc, "tick") and llc.tick():
+        llc = self._ns_llc
+        if llc is not None and llc.tick():
             # One pressure broadcast per slice per window.
             for n in range(self.config.nodes):
                 self._send(MessageKind.PRESSURE_SHARE, n, FAR_SIDE_HUB)

@@ -40,7 +40,7 @@ from repro.workloads.registry import CATEGORIES, get_spec, workload_names
 Matrix = Dict[str, Dict[str, RunRecord]]
 
 #: bump when RunRecord's schema or the simulation semantics change
-RUN_FORMAT = 5
+RUN_FORMAT = 6
 
 
 class SweepError(RuntimeError):

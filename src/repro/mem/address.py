@@ -105,15 +105,18 @@ class AddressSpace:
         self.asid = asid
         self._allocator = allocator if allocator is not None else PageAllocator()
         self._pages: Dict[int, int] = {}
+        # Hoisted bit fields: translate() runs once per simulated access.
+        self._page_bits = amap.page_bits
+        self._offset_mask = amap.page_size - 1
 
     def translate(self, vaddr: int) -> int:
         """Physical address for ``vaddr``, allocating its page on demand."""
-        vpage = self.amap.page_of(vaddr)
+        vpage = vaddr >> self._page_bits
         ppage = self._pages.get(vpage)
         if ppage is None:
             ppage = self._allocator.allocate(self.asid, vpage)
             self._pages[vpage] = ppage
-        return (ppage << self.amap.page_bits) | self.amap.page_offset(vaddr)
+        return (ppage << self._page_bits) | (vaddr & self._offset_mask)
 
     @property
     def mapped_pages(self) -> int:

@@ -40,9 +40,15 @@ class LRUPolicy(ReplacementPolicy):
         self._order: List[int] = list(range(ways))
 
     def touch(self, way: int) -> None:
+        order = self._order
+        # Re-touching the MRU way is the common case on the hot path and
+        # a no-op; ``order`` only ever holds valid ways, so matching its
+        # tail also implies the bounds check passed.
+        if order[-1] == way:
+            return
         self._check_way(way)
-        self._order.remove(way)
-        self._order.append(way)
+        order.remove(way)
+        order.append(way)
 
     def victim(self, protected: Optional[Iterable[int]] = None) -> int:
         banned = set(protected) if protected else set()

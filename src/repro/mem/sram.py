@@ -12,7 +12,6 @@ D2M's tag-less data arrays do NOT use this class; they are plain
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.mem.replacement import LRUPolicy, PolicyFactory
@@ -20,13 +19,19 @@ from repro.mem.replacement import LRUPolicy, PolicyFactory
 T = TypeVar("T")
 
 
-@dataclass
 class Slot(Generic[T]):
-    """One way of one set."""
+    """One way of one set (slotted; created in bulk per structure)."""
 
-    valid: bool = False
-    key: int = 0
-    payload: Optional[T] = None
+    __slots__ = ("valid", "key", "payload")
+
+    def __init__(self, valid: bool = False, key: int = 0,
+                 payload: Optional[T] = None) -> None:
+        self.valid = valid
+        self.key = key
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Slot(valid={self.valid}, key={self.key}, payload={self.payload!r})"
 
 
 class SetAssocStore(Generic[T]):
@@ -57,8 +62,10 @@ class SetAssocStore(Generic[T]):
             [Slot() for _ in range(ways)] for _ in range(sets)
         ]
         self._policies = [policy_factory(ways) for _ in range(sets)]
-        # Fast key -> (set, way) map; one location per key by construction.
-        self._where: Dict[int, Tuple[int, int]] = {}
+        # Fast key -> (set, way, slot) map; one location per key by
+        # construction.  The slot reference rides along so the hot
+        # ``lookup`` path resolves payloads without double indexing.
+        self._where: Dict[int, Tuple[int, int, Slot[T]]] = {}
 
     # -- lookup ---------------------------------------------------------------
 
@@ -73,17 +80,17 @@ class SetAssocStore(Generic[T]):
         loc = self._where.get(key)
         if loc is None:
             return None
-        set_idx, way = loc
         if touch:
-            self._policies[set_idx].touch(way)
-        return self._slots[set_idx][way].payload
+            self._policies[loc[0]].touch(loc[1])
+        return loc[2].payload
 
     def contains(self, key: int) -> bool:
         return key in self._where
 
     def location_of(self, key: int) -> Optional[Tuple[int, int]]:
         """(set, way) of ``key`` if present."""
-        return self._where.get(key)
+        loc = self._where.get(key)
+        return None if loc is None else (loc[0], loc[1])
 
     def peek_way(self, set_idx: int, way: int) -> Slot[T]:
         """Direct slot access (tests and eviction handlers)."""
@@ -104,9 +111,10 @@ class SetAssocStore(Generic[T]):
         blocking transaction); a protected way is skipped when any
         unprotected way exists.
         """
-        if key in self._where:
-            set_idx, way = self._where[key]
-            self._slots[set_idx][way].payload = payload
+        loc = self._where.get(key)
+        if loc is not None:
+            set_idx, way, slot = loc
+            slot.payload = payload
             self._policies[set_idx].touch(way)
             return None
         set_idx = self.index_of(key)
@@ -135,7 +143,7 @@ class SetAssocStore(Generic[T]):
         slot.valid = True
         slot.key = key
         slot.payload = payload
-        self._where[key] = (set_idx, way)
+        self._where[key] = (set_idx, way, slot)
         self._policies[set_idx].touch(way)
 
     def preview_victim(
@@ -172,8 +180,7 @@ class SetAssocStore(Generic[T]):
         loc = self._where.pop(key, None)
         if loc is None:
             return None
-        set_idx, way = loc
-        slot = self._slots[set_idx][way]
+        slot = loc[2]
         payload = slot.payload
         slot.valid = False
         slot.payload = None
@@ -190,8 +197,8 @@ class SetAssocStore(Generic[T]):
         return len(self._where)
 
     def __iter__(self) -> Iterator[Tuple[int, T]]:
-        for key, (set_idx, way) in list(self._where.items()):
-            payload = self._slots[set_idx][way].payload
+        for key, loc in list(self._where.items()):
+            payload = loc[2].payload
             assert payload is not None
             yield key, payload
 

@@ -41,24 +41,31 @@ class TwoLevelTLB:
         self._l1_latency = l1_latency
         self._l2_latency = l2_latency
         self.stats = stats
+        # Translation runs once per simulated access and its three
+        # outcomes have fixed latencies, so the result objects are
+        # preallocated (callers only read them, never mutate).
+        self._hit1 = TLBResult(level=1, latency=l1_latency)
+        self._hit2 = TLBResult(level=2, latency=l1_latency + l2_latency)
+        self._walk = TLBResult(
+            level=3,
+            latency=l1_latency + l2_latency + self.PAGE_WALK_LATENCY,
+        )
 
     def translate(self, vpage: int) -> TLBResult:
         """Look ``vpage`` up, filling on miss; returns level and latency."""
-        self.stats.add("accesses")
+        stats = self.stats
+        stats.add("accesses")
         if self._l1.lookup(vpage) is not None:
-            self.stats.add("l1_hits")
-            return TLBResult(level=1, latency=self._l1_latency)
+            stats.add("l1_hits")
+            return self._hit1
         if self._l2.lookup(vpage) is not None:
-            self.stats.add("l2_hits")
+            stats.add("l2_hits")
             self._l1.insert(vpage, True)
-            return TLBResult(level=2, latency=self._l1_latency + self._l2_latency)
-        self.stats.add("walks")
+            return self._hit2
+        stats.add("walks")
         self._l2.insert(vpage, True)
         self._l1.insert(vpage, True)
-        return TLBResult(
-            level=3,
-            latency=self._l1_latency + self._l2_latency + self.PAGE_WALK_LATENCY,
-        )
+        return self._walk
 
     def flush(self) -> None:
         """Drop all translations (context switch)."""

@@ -1,0 +1,319 @@
+"""Pinned-matrix performance benchmark for the simulator itself.
+
+``repro bench`` measures how fast the *simulator* runs — not anything
+about the simulated machines — over a fixed matrix of three systems
+(Base-2L, D2M-FS, D2M-NS-R) by three workloads (tpcc, swaptions, mix1)
+with pinned seeds and instruction budgets, so numbers are comparable
+across commits.  Each cell reports instructions/second plus a per-phase
+wall split (workload generation vs hierarchy access vs stats
+summarization), and the whole report lands in a machine-readable
+``BENCH_<date>.json`` with an environment fingerprint.
+
+The benchmark doubles as a correctness gate for the optimized driver
+path: every cell is also run once through the *reference* generator
+(:meth:`SyntheticWorkload.generate`, by hiding ``generate_fast`` behind
+an adapter) and the two runs' full statistics — flattened stat
+counters, latency buckets, per-core totals, and model cycles — must be
+bit-identical.  Any divergence fails the run with a nonzero exit, which
+is what CI's bench-smoke job keys on.
+
+Timing uses ``time.process_time`` (CPU time; robust against noisy
+co-tenants) with a best-of-``repetitions`` policy per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.params import SystemConfig, all_configs
+from repro.core.hierarchy import build_hierarchy
+from repro.sim.perf import PerfModel
+from repro.sim.simulator import SimResult, Simulator
+from repro.workloads.registry import make_workload
+
+#: the pinned matrix — one representative per hierarchy family, three
+#: workloads spanning instruction-heavy (tpcc), private-data
+#: (swaptions), and mixed (mix1) behaviour
+BENCH_CONFIGS: Tuple[str, ...] = ("Base-2L", "D2M-FS", "D2M-NS-R")
+BENCH_WORKLOADS: Tuple[str, ...] = ("tpcc", "swaptions", "mix1")
+BENCH_SEED = 1
+
+FULL_INSTRUCTIONS = 20_000
+FULL_WARMUP = 10_000
+FULL_REPETITIONS = 3
+QUICK_INSTRUCTIONS = 4_000
+QUICK_WARMUP = 2_000
+QUICK_REPETITIONS = 1
+
+#: Throughput of the pre-optimization tree on the full matrix, measured
+#: interleaved (seed cell, then optimized cell) in subprocesses on the
+#: reference machine, best-of-3 ``process_time`` with a warm-up run.
+#: ``ips`` is (warmup + instructions) / best-time.  This is the "1.0x"
+#: the first optimized BENCH report is compared against.
+SEED_BASELINE: Dict[str, object] = {
+    "commit": "83554fc",
+    "method": "interleaved A/B, subprocess per cell, best-of-3 "
+              "process_time, ips = 30000 / best",
+    "ips": {
+        "Base-2L/tpcc": 25893.0,
+        "Base-2L/swaptions": 35883.0,
+        "Base-2L/mix1": 27107.0,
+        "D2M-FS/tpcc": 20486.0,
+        "D2M-FS/swaptions": 30173.0,
+        "D2M-FS/mix1": 22517.0,
+        "D2M-NS-R/tpcc": 22343.0,
+        "D2M-NS-R/swaptions": 34272.0,
+        "D2M-NS-R/mix1": 30417.0,
+    },
+}
+
+
+class ReferenceWorkload:
+    """Adapter exposing only ``generate``/``translate``.
+
+    The simulator picks up ``generate_fast`` by duck typing; wrapping a
+    workload in this adapter hides it, forcing the reference generator
+    — which is how the equivalence gate exercises both paths.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def generate(self, n_instructions: int, seed: int = 0):
+        return self._inner.generate(n_instructions, seed)
+
+    def translate(self, core: int, vaddr: int) -> int:
+        return self._inner.translate(core, vaddr)
+
+
+def result_snapshot(result: SimResult, cycles: float) -> Dict[str, object]:
+    """Everything a run reports, as one JSON-comparable dict."""
+    return {
+        "instructions": result.instructions,
+        "accesses": result.accesses,
+        "stats": result.stats.flatten(),
+        "buckets": {
+            f"{int(instr)}|{level.value}": [b.count, b.total_latency]
+            for (instr, level), b in sorted(
+                result.buckets.items(),
+                key=lambda kv: (kv[0][0], kv[0][1].value))
+        },
+        "core_instructions": {
+            str(k): v for k, v in sorted(result.core_instructions.items())},
+        "core_instr_miss_latency": {
+            str(k): v
+            for k, v in sorted(result.core_instr_miss_latency.items())},
+        "core_data_miss_latency": {
+            str(k): v
+            for k, v in sorted(result.core_data_miss_latency.items())},
+        "cycles": cycles,
+    }
+
+
+def _run_once(config: SystemConfig, workload_name: str, instructions: int,
+              warmup: int, reference: bool = False) -> Dict[str, object]:
+    """One fresh simulation; returns its :func:`result_snapshot`."""
+    hierarchy = build_hierarchy(config)
+    workload = make_workload(workload_name, config.nodes, hierarchy.amap,
+                             seed=BENCH_SEED)
+    if reference:
+        workload = ReferenceWorkload(workload)
+    simulator = Simulator(hierarchy, check_values=False)
+    result = simulator.run(workload, instructions, seed=BENCH_SEED,
+                           warmup=warmup)
+    perf = PerfModel(config.ooo).summarize(result)
+    return result_snapshot(result, perf.cycles)
+
+
+def _time_cell(config: SystemConfig, workload_name: str, instructions: int,
+               warmup: int, repetitions: int) -> Dict[str, float]:
+    """Best-of-``repetitions`` phase timings for one matrix cell.
+
+    Phases:
+
+    * ``generate`` — draining the workload's access stream alone;
+    * ``hierarchy`` — the simulation loop minus the generate share
+      (translation, protocol/hierarchy access, MSHR, recording);
+    * ``stats`` — flattening counters and the perf-model summary.
+    """
+    total = warmup + instructions
+    best_generate = best_simulate = best_stats = float("inf")
+    for _ in range(max(1, repetitions)):
+        hierarchy = build_hierarchy(config)
+        workload = make_workload(workload_name, config.nodes, hierarchy.amap,
+                                 seed=BENCH_SEED)
+        generate = getattr(workload, "generate_fast", workload.generate)
+
+        t0 = time.process_time()
+        for _acc in generate(total, BENCH_SEED):
+            pass
+        t_generate = time.process_time() - t0
+
+        simulator = Simulator(hierarchy, check_values=False)
+        t0 = time.process_time()
+        result = simulator.run(workload, instructions, seed=BENCH_SEED,
+                               warmup=warmup)
+        t_simulate = time.process_time() - t0
+
+        t0 = time.process_time()
+        result.stats.flatten()
+        PerfModel(config.ooo).summarize(result)
+        t_stats = time.process_time() - t0
+
+        best_generate = min(best_generate, t_generate)
+        best_simulate = min(best_simulate, t_simulate)
+        best_stats = min(best_stats, t_stats)
+    return {
+        "generate_s": best_generate,
+        "hierarchy_s": max(best_simulate - best_generate, 0.0),
+        "simulate_s": best_simulate,
+        "stats_s": best_stats,
+        "ips": total / best_simulate if best_simulate > 0 else 0.0,
+    }
+
+
+def _geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def _environment() -> Dict[str, object]:
+    commit = "unknown"
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if proc.returncode == 0:
+            commit = proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "commit": commit,
+    }
+
+
+def run_bench(quick: bool = False,
+              check_equivalence: bool = True) -> Dict[str, object]:
+    """Run the pinned matrix; returns the full report dict.
+
+    ``report["equivalence_ok"]`` is False when any cell's optimized run
+    diverged from its reference-generator run.
+    """
+    if quick:
+        instructions, warmup = QUICK_INSTRUCTIONS, QUICK_WARMUP
+        repetitions = QUICK_REPETITIONS
+    else:
+        instructions, warmup = FULL_INSTRUCTIONS, FULL_WARMUP
+        repetitions = FULL_REPETITIONS
+    configs = {c.name: c for c in all_configs()}
+    cells: List[Dict[str, object]] = []
+    equivalence_ok = True
+    for config_name in BENCH_CONFIGS:
+        config = configs[config_name]
+        for workload_name in BENCH_WORKLOADS:
+            cell_name = f"{config_name}/{workload_name}"
+            equivalent: Optional[bool] = None
+            if check_equivalence:
+                optimized = _run_once(config, workload_name, instructions,
+                                      warmup)
+                reference = _run_once(config, workload_name, instructions,
+                                      warmup, reference=True)
+                equivalent = optimized == reference
+                if not equivalent:
+                    equivalence_ok = False
+                    print(f"bench: DIVERGENCE in {cell_name}: optimized "
+                          "driver does not match the reference generator",
+                          file=sys.stderr)
+            timing = _time_cell(config, workload_name, instructions, warmup,
+                                repetitions)
+            cell: Dict[str, object] = {
+                "config": config_name,
+                "workload": workload_name,
+                "ips": round(timing["ips"], 1),
+                "phases_s": {
+                    "generate": round(timing["generate_s"], 6),
+                    "hierarchy": round(timing["hierarchy_s"], 6),
+                    "stats": round(timing["stats_s"], 6),
+                },
+                "simulate_s": round(timing["simulate_s"], 6),
+            }
+            if equivalent is not None:
+                cell["equivalent"] = equivalent
+            cells.append(cell)
+            print(f"bench: {cell_name}: {cell['ips']:.0f} instr/s"
+                  + ("" if equivalent is None
+                     else f" (equivalence {'ok' if equivalent else 'FAIL'})"))
+    geomean_ips = _geomean(float(c["ips"]) for c in cells)
+    report: Dict[str, object] = {
+        "schema": 1,
+        "date": time.strftime("%Y-%m-%d"),
+        "mode": "quick" if quick else "full",
+        "matrix": {
+            "configs": list(BENCH_CONFIGS),
+            "workloads": list(BENCH_WORKLOADS),
+            "seed": BENCH_SEED,
+            "instructions": instructions,
+            "warmup": warmup,
+            "repetitions": repetitions,
+        },
+        "env": _environment(),
+        "cells": cells,
+        "geomean_ips": round(geomean_ips, 1),
+        "equivalence_checked": check_equivalence,
+        "equivalence_ok": equivalence_ok,
+    }
+    # The recorded baseline only means something on the full matrix (the
+    # quick mode simulates fewer instructions, so its ips skews low from
+    # fixed per-run setup costs).
+    if not quick:
+        baseline_ips = SEED_BASELINE["ips"]
+        assert isinstance(baseline_ips, dict)
+        baseline_geomean = _geomean(baseline_ips.values())
+        report["baseline"] = dict(SEED_BASELINE,
+                                  geomean_ips=round(baseline_geomean, 1))
+        if baseline_geomean > 0:
+            report["speedup_vs_baseline"] = round(
+                geomean_ips / baseline_geomean, 2)
+    print(f"bench: geomean {geomean_ips:.0f} instr/s"
+          + (f", {report['speedup_vs_baseline']}x vs seed baseline"
+             if "speedup_vs_baseline" in report else ""))
+    return report
+
+
+def default_output_path() -> str:
+    return f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def main(quick: bool = False, out: str = "",
+         check_equivalence: bool = True) -> int:
+    """Entry point shared by ``repro bench`` and ``tools/bench_repro.py``."""
+    report = run_bench(quick=quick, check_equivalence=check_equivalence)
+    path = out or default_output_path()
+    write_report(report, path)
+    print(f"bench: report written to {path}")
+    return 0 if report["equivalence_ok"] else 1

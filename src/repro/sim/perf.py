@@ -33,9 +33,14 @@ class PerfSummary:
         )
 
     def speedup_over(self, other: "PerfSummary") -> float:
-        """Relative speedup of ``self`` vs ``other`` (1.0 = equal)."""
+        """Relative speedup of ``self`` vs ``other`` (1.0 = equal).
+
+        A run that took no cycles is infinitely fast relative to one
+        that took any — not "infinitely slow" (the old 0.0 return); two
+        zero-cycle runs are equal.
+        """
         if self.cycles == 0:
-            return 0.0
+            return 1.0 if other.cycles == 0 else float("inf")
         return other.cycles / self.cycles
 
 

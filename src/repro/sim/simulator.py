@@ -16,7 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.errors import TraceError
 from repro.common.stats import StatGroup
-from repro.common.types import Access, AccessResult, HitLevel
+from repro.common.types import AccessKind, AccessResult, HitLevel
 from repro.mem.mainmem import VersionOracle
 
 
@@ -112,6 +112,8 @@ class Simulator:
         self._issue_interval = hierarchy.config.ooo.base_cpi
         self._recording = True
         self._warmup_left = 0
+        self._roi_pending = False
+        self._mshr_inserts = 0
 
     def run(self, workload, n_instructions: int, seed: int = 0,
             warmup: int = 0) -> SimResult:
@@ -124,8 +126,13 @@ class Simulator:
         ``warmup`` instructions run first with full protocol behaviour
         (and value checking) but are excluded from every reported metric,
         emulating the paper's region-of-interest measurement.
+
+        When the workload offers ``generate_fast`` (an allocation-free
+        variant yielding the identical stream, e.g.
+        :meth:`SyntheticWorkload.generate_fast`), the driver uses it;
+        the loop never retains a yielded access, which is that method's
+        one requirement.
         """
-        amap = self.hierarchy.amap
         result = SimResult(
             name=self.hierarchy.config.name,
             instructions=0,
@@ -135,85 +142,152 @@ class Simulator:
         )
         self._recording = warmup == 0
         self._warmup_left = warmup
-        for acc in workload.generate(warmup + n_instructions, seed):
-            paddr = workload.translate(acc.core, acc.vaddr)
+        self._roi_pending = False
+        # This loop runs once per simulated access: every per-access
+        # attribute lookup is hoisted into a local and the per-access
+        # bookkeeping (clock advance, warm-up/ROI boundary, latency
+        # recording) is inlined rather than dispatched through helper
+        # methods.  The MSHR transform stays a method (`_apply_mshr`);
+        # its semantics are documented and unit-tested there.
+        generate = getattr(workload, "generate_fast", workload.generate)
+        translate = workload.translate
+        line_of = self.hierarchy.amap.line_of
+        # D2MHierarchy.access is pure delegation to its protocol; dispatch
+        # straight to the protocol to skip one call frame per access.
+        machine = getattr(self.hierarchy, "protocol", self.hierarchy)
+        hierarchy_access = machine.access
+        check_values = self.check_values
+        on_store = self.oracle.on_store
+        check_load = self.oracle.check_load
+        apply_mshr = self._apply_mshr
+        core_time = self._core_time
+        issue_interval = self._issue_interval
+        ifetch = AccessKind.IFETCH
+        store = AccessKind.STORE
+        hit_l1 = HitLevel.L1
+        hit_late = HitLevel.LATE
+        buckets = result.buckets
+        core_instructions = result.core_instructions
+        instr_miss_latency = result.core_instr_miss_latency
+        data_miss_latency = result.core_data_miss_latency
+        recording = self._recording
+        warmup_left = warmup
+        roi_pending = False
+        instructions = 0
+        accesses = 0
+        for acc in generate(warmup + n_instructions, seed):
+            core = acc.core
+            kind = acc.kind
+            paddr = translate(core, acc.vaddr)
             if paddr < 0:
                 raise TraceError(f"negative physical address for {acc}")
-            line = amap.line_of(paddr)
-            now = self._advance(acc, result)
+            line = line_of(paddr)
 
-            if acc.is_write:
-                version = self.oracle.on_store(line) if self.check_values else 1
-                outcome = self.hierarchy.access(acc, paddr, version)
+            # -- per-core clock + warm-up/ROI accounting.
+            if roi_pending:
+                # The region of interest starts *here*, at the first
+                # access after the one that exhausted the warm-up budget:
+                # the final warm-up access belongs entirely to the
+                # warm-up (it is neither counted nor recorded, and its
+                # stats are reset away below).
+                self.hierarchy.stats.reset()
+                self.hierarchy.network.reset()
+                self.hierarchy.energy.reset()
+                recording = True
+                roi_pending = False
+            now = core_time.get(core, 0.0)
+            if kind is ifetch:
+                now += issue_interval
+                core_time[core] = now
+                if recording:
+                    instructions += 1
+                    core_instructions[core] = (
+                        core_instructions.get(core, 0) + 1
+                    )
+                elif warmup_left > 0:
+                    warmup_left -= 1
+                    if warmup_left == 0:
+                        roi_pending = True
+            if recording:
+                accesses += 1
+
+            if kind is store:
+                version = on_store(line) if check_values else 1
+                outcome = hierarchy_access(acc, paddr, version)
             else:
-                outcome = self.hierarchy.access(acc, paddr)
-                if self.check_values:
-                    self.oracle.check_load(line, outcome.version)
+                outcome = hierarchy_access(acc, paddr)
+                if check_values:
+                    check_load(line, outcome.version)
 
-            outcome = self._apply_mshr(acc.core, line, now, outcome)
-            if self._recording:
-                self._record(acc, outcome, result)
+            outcome = apply_mshr(core, line, now, outcome)
+
+            if recording:
+                # -- latency buckets + per-core stall totals.
+                level = outcome.level
+                latency = outcome.latency
+                instr = kind is ifetch
+                key = (instr, level)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    bucket = LatencyBucket()
+                    buckets[key] = bucket
+                bucket.count += 1
+                bucket.total_latency += latency
+                if level is not hit_l1 and level is not hit_late:
+                    lat = instr_miss_latency if instr else data_miss_latency
+                    lat[core] = lat.get(core, 0) + latency
+        result.instructions = instructions
+        result.accesses = accesses
+        self._recording = recording
+        self._warmup_left = warmup_left
+        self._roi_pending = roi_pending
         self.hierarchy.finalize()
         return result
 
     # ------------------------------------------------------------------ internals
 
-    def _advance(self, acc: Access, result: SimResult) -> float:
-        now = self._core_time.get(acc.core, 0.0)
-        if acc.is_instruction:
-            now += self._issue_interval
-            self._core_time[acc.core] = now
-            if self._recording:
-                result.instructions += 1
-                result.core_instructions[acc.core] = (
-                    result.core_instructions.get(acc.core, 0) + 1
-                )
-            elif self._warmup_left > 0:
-                self._warmup_left -= 1
-                if self._warmup_left == 0:
-                    # Region of interest starts: drop warm-up statistics.
-                    self.hierarchy.stats.reset()
-                    self.hierarchy.network.reset()
-                    self.hierarchy.energy.reset()
-                    self._recording = True
-        if self._recording:
-            result.accesses += 1
-        return now
+    #: sweep the MSHR map for completed entries every this many inserts
+    _MSHR_PRUNE_PERIOD = 8192
 
     def _apply_mshr(self, core: int, line: int, now: float,
                     outcome: AccessResult) -> AccessResult:
-        """Convert hits under an outstanding miss into late hits."""
+        """Convert accesses under an outstanding miss into late hits.
+
+        MSHR semantics (both cases observe the *existing* completion time;
+        a second miss never extends or restarts the outstanding fill):
+
+        * an L1 hit to a line whose miss is still outstanding is a *late
+          hit* with the residual latency (paper Table IV);
+        * a repeat L1 *miss* to such a line (the first fill did not
+          install locally — eviction in between, or a bypassed read)
+          *coalesces* into the existing MSHR entry: the memory request is
+          already in flight, so the access completes as a late hit with
+          the residual latency instead of issuing — and timing — a whole
+          new fill.
+        """
         key = (core, line)
         completion = self._outstanding.get(key)
         if completion is not None and completion <= now:
             del self._outstanding[key]
             completion = None
+        if completion is not None:
+            residual = max(1, int(completion - now))
+            return AccessResult(HitLevel.LATE, residual,
+                                version=outcome.version,
+                                private_region=outcome.private_region)
         if outcome.level is HitLevel.L1:
-            if completion is not None:
-                residual = max(1, int(completion - now))
-                return AccessResult(HitLevel.LATE, residual,
-                                    version=outcome.version,
-                                    private_region=outcome.private_region)
             return outcome
         self._outstanding[key] = now + outcome.latency
+        # Entries for lines never re-accessed would otherwise accumulate
+        # forever; periodically drop every entry whose fill has completed
+        # (observable behaviour is identical — completed entries are
+        # treated as absent on lookup anyway).
+        self._mshr_inserts += 1
+        if self._mshr_inserts >= self._MSHR_PRUNE_PERIOD:
+            self._mshr_inserts = 0
+            core_time = self._core_time
+            dead = [k for k, done in self._outstanding.items()
+                    if done <= core_time.get(k[0], 0.0)]
+            for k in dead:
+                del self._outstanding[k]
         return outcome
-
-    def _record(self, acc: Access, outcome: AccessResult,
-                result: SimResult) -> None:
-        key = (acc.is_instruction, outcome.level)
-        bucket = result.buckets.get(key)
-        if bucket is None:
-            bucket = LatencyBucket()
-            result.buckets[key] = bucket
-        bucket.add(outcome.latency)
-        if outcome.level.is_l1_miss:
-            if acc.is_instruction:
-                result.core_instr_miss_latency[acc.core] = (
-                    result.core_instr_miss_latency.get(acc.core, 0)
-                    + outcome.latency
-                )
-            else:
-                result.core_data_miss_latency[acc.core] = (
-                    result.core_data_miss_latency.get(acc.core, 0)
-                    + outcome.latency
-                )

@@ -16,7 +16,9 @@ shows 100 % private misses for them).
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.common.types import Access, AccessKind
@@ -97,23 +99,31 @@ class _CodeStream:
         self._functions = max(1, model.footprint // model.function_size)
         self._hot = min(model.hot_functions, self._functions)
         self._warm = min(model.warm_functions, self._functions - self._hot)
+        # next_pc runs once per simulated instruction: precompute every
+        # derived constant (same float math as the inline expressions).
+        self._jump_prob = 1.0 / model.avg_block
+        self._hot_fraction = model.hot_fraction
+        self._warm_threshold = model.hot_fraction + model.warm_fraction
+        self._function_size = model.function_size
+        self._fetch_bytes = model.fetch_bytes
+        self._wrap_limit = base + model.footprint
 
     def next_pc(self, rng: random.Random) -> int:
-        model = self.model
-        if rng.random() < 1.0 / model.avg_block:
+        if rng.random() < self._jump_prob:
             roll = rng.random()
-            if roll < model.hot_fraction:
+            if roll < self._hot_fraction:
                 slot = rng.randrange(self._hot)
-            elif self._warm and roll < model.hot_fraction + model.warm_fraction:
+            elif self._warm and roll < self._warm_threshold:
                 slot = self._hot + rng.randrange(self._warm)
             else:
                 slot = rng.randrange(self._functions)
-            self._pc = self.base + slot * model.function_size
+            pc = self.base + slot * self._function_size
         else:
-            self._pc += model.fetch_bytes
-            if self._pc >= self.base + model.footprint:
-                self._pc = self.base
-        return self._pc
+            pc = self._pc + self._fetch_bytes
+            if pc >= self._wrap_limit:
+                pc = self.base
+        self._pc = pc
+        return pc
 
 
 @dataclass
@@ -184,3 +194,68 @@ class SyntheticWorkload:
                 kind = AccessKind.STORE if is_write else AccessKind.LOAD
                 yield Access(core, kind, vaddr)
             core = (core + 1) % self.nodes
+
+    def generate_fast(self, n_instructions: int,
+                      seed: int = 0) -> Iterator[Access]:
+        """``generate``'s exact stream, minus the allocation churn.
+
+        Yields the same ``(core, kind, vaddr)`` sequence as
+        :meth:`generate` — it draws the same values from the same
+        per-core RNGs, replacing each ``rng.choices(streams, weights)``
+        call with the single ``rng.random()`` + ``bisect`` that call
+        performs internally — but **reuses one Access object per
+        (core, kind)**, mutating its ``vaddr`` in place between yields.
+
+        Callers must therefore consume each yielded access before
+        advancing the iterator and must not retain references
+        (``list(...)`` would alias a handful of mutated objects).  The
+        simulator's driver loop qualifies and picks this method up when
+        present; anything that materializes the stream should stay on
+        :meth:`generate`.
+        """
+        rngs = [random.Random((seed or self._seed) * 1_000_003 + core)
+                for core in range(self.nodes)]
+        code = [self.spec.code.build(core, rngs[core])
+                for core in range(self.nodes)]
+        mixes = [self.spec.data.build(core, self.nodes, rngs[core])
+                 for core in range(self.nodes)]
+        # Per-core choice tables, mirroring random.choices internals:
+        # cumulative weights, float total, and the bisect upper bound.
+        choice_tables = []
+        for weights, streams in mixes:
+            cum = list(accumulate(weights))
+            choice_tables.append(
+                (streams, cum, cum[-1] + 0.0, len(streams) - 1))
+        # One reusable frozen-Access shell per (core, kind); validated
+        # once here, then mutated via object.__setattr__ on the hot path.
+        ifetch_shells = [Access(core, AccessKind.IFETCH, 0)
+                         for core in range(self.nodes)]
+        load_shells = [Access(core, AccessKind.LOAD, 0)
+                       for core in range(self.nodes)]
+        store_shells = [Access(core, AccessKind.STORE, 0)
+                        for core in range(self.nodes)]
+        debt = [0.0] * self.nodes
+        mem_ratio = self.spec.mem_ratio
+        nodes = self.nodes
+        mutate = object.__setattr__
+
+        issued = 0
+        core = 0
+        while issued < n_instructions:
+            rng = rngs[core]
+            acc = ifetch_shells[core]
+            mutate(acc, "vaddr", code[core].next_pc(rng))
+            yield acc
+            issued += 1
+            owed = debt[core] + mem_ratio
+            if owed >= 1.0:
+                streams, cum, total, hi = choice_tables[core]
+                while owed >= 1.0:
+                    owed -= 1.0
+                    stream = streams[bisect(cum, rng.random() * total, 0, hi)]
+                    vaddr, is_write = stream.next_op(rng)
+                    acc = store_shells[core] if is_write else load_shells[core]
+                    mutate(acc, "vaddr", vaddr)
+                    yield acc
+            debt[core] = owed
+            core = (core + 1) % nodes

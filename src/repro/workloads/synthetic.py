@@ -18,6 +18,26 @@ from typing import List, Tuple
 #: (virtual address, is_write)
 Op = Tuple[int, bool]
 
+#: shared Zipf CDF tables keyed by (alpha, item count) — building one is
+#: O(count) with a float power per item, and every core of every run
+#: re-creates identical streams, so the table is computed once and the
+#: (read-only) list shared between instances.
+_ZIPF_CDFS: dict = {}
+
+
+def _zipf_cdf(alpha: float, capped: int) -> List[float]:
+    cdf = _ZIPF_CDFS.get((alpha, capped))
+    if cdf is None:
+        weights = [1.0 / ((i + 1) ** alpha) for i in range(capped)]
+        total = sum(weights)
+        cdf = []
+        cum = 0.0
+        for w in weights:
+            cum += w / total
+            cdf.append(cum)
+        _ZIPF_CDFS[(alpha, capped)] = cdf
+    return cdf
+
 
 class Stream:
     """One data-access pattern generator."""
@@ -115,14 +135,9 @@ class ZipfStream(Stream):
         count = items or max(1, size // granule)
         self._count = count
         # CDF of a Zipf(alpha) over `count` items, capped for memory.
+        # Shared across instances (never mutated after construction).
         capped = min(count, 16384)
-        weights = [1.0 / ((i + 1) ** alpha) for i in range(capped)]
-        total = sum(weights)
-        cum = 0.0
-        self._cdf: List[float] = []
-        for w in weights:
-            cum += w / total
-            self._cdf.append(cum)
+        self._cdf: List[float] = _zipf_cdf(alpha, capped)
         self._spread = max(1, count // capped)
         self._run_left = 0
         self._run_addr = base

@@ -1,0 +1,79 @@
+"""Unit tests for the perf-tracking benchmark harness."""
+
+import json
+
+from repro.common.params import all_configs
+from repro.sim import bench
+
+
+def _config(name):
+    return {c.name: c for c in all_configs()}[name]
+
+
+class TestReferenceAdapter:
+    def test_hides_fast_path(self):
+        from repro.mem.address import AddressMap
+        from repro.workloads.registry import make_workload
+        workload = make_workload("tpcc", 4, AddressMap(), seed=1)
+        assert hasattr(workload, "generate_fast")
+        wrapped = bench.ReferenceWorkload(workload)
+        assert not hasattr(wrapped, "generate_fast")
+        assert wrapped.translate(0, 0x5000) == workload.translate(0, 0x5000)
+
+
+class TestEquivalenceGate:
+    def test_optimized_matches_reference(self):
+        # the core promise: the fast driver path produces bit-identical
+        # statistics to the reference generator
+        for name in ("Base-2L", "D2M-NS-R"):
+            config = _config(name)
+            optimized = bench._run_once(config, "tpcc", 600, 300)
+            reference = bench._run_once(config, "tpcc", 600, 300,
+                                        reference=True)
+            assert optimized == reference, name
+
+    def test_snapshot_is_json_serializable(self):
+        snap = bench._run_once(_config("Base-2L"), "swaptions", 400, 200)
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped == snap
+        assert snap["instructions"] == 400
+        assert snap["cycles"] > 0
+
+
+class TestReport:
+    def test_quick_report_schema(self, tmp_path, monkeypatch):
+        # shrink the pinned budgets so the schema test stays fast; the
+        # real budgets are exercised by the CI bench-smoke job
+        monkeypatch.setattr(bench, "QUICK_INSTRUCTIONS", 400)
+        monkeypatch.setattr(bench, "QUICK_WARMUP", 200)
+        report = bench.run_bench(quick=True, check_equivalence=False)
+        assert report["schema"] == 1
+        assert report["mode"] == "quick"
+        assert report["matrix"]["seed"] == bench.BENCH_SEED
+        assert len(report["cells"]) == (
+            len(bench.BENCH_CONFIGS) * len(bench.BENCH_WORKLOADS))
+        for cell in report["cells"]:
+            assert cell["ips"] > 0
+            phases = cell["phases_s"]
+            assert set(phases) == {"generate", "hierarchy", "stats"}
+        assert report["geomean_ips"] > 0
+        for key in ("python", "platform", "cpu_count", "commit"):
+            assert key in report["env"]
+        # the recorded baseline compares full-budget runs only
+        assert "speedup_vs_baseline" not in report
+        assert report["equivalence_checked"] is False
+
+        out = tmp_path / "bench.json"
+        bench.write_report(report, str(out))
+        assert json.loads(out.read_text()) == report
+
+    def test_baseline_cells_cover_matrix(self):
+        ips = bench.SEED_BASELINE["ips"]
+        want = {f"{c}/{w}" for c in bench.BENCH_CONFIGS
+                for w in bench.BENCH_WORKLOADS}
+        assert set(ips) == want
+        assert all(v > 0 for v in ips.values())
+
+    def test_geomean(self):
+        assert bench._geomean([4.0, 9.0]) == 6.0
+        assert bench._geomean([]) == 0.0

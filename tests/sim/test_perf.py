@@ -50,3 +50,20 @@ class TestPerfModel:
     def test_empty_result(self):
         summary = PerfModel(OoOModel()).summarize(result_with({}, {}, {}))
         assert summary.cycles == 0.0
+
+    def test_speedup_over_zero_cycle_runs(self):
+        model = PerfModel(OoOModel())
+        empty = model.summarize(result_with({}, {}, {}))
+        busy = model.summarize(result_with({0: 1000}, {}, {}))
+        # a zero-cycle run is infinitely fast relative to a real one...
+        assert empty.speedup_over(busy) == float("inf")
+        # ...the real one is infinitely slow relative to it...
+        assert busy.speedup_over(empty) == 0.0
+        # ...and two zero-cycle runs are equal, not 0/0.
+        assert empty.speedup_over(empty) == 1.0
+
+    def test_single_core_cpi(self):
+        model = PerfModel(OoOModel(base_cpi=1.25))
+        summary = model.summarize(result_with({0: 1000}, {}, {}))
+        assert summary.cpi == pytest.approx(summary.cycles / 1000)
+        assert summary.cpi == pytest.approx(1.25)

@@ -70,6 +70,54 @@ class TestMSHR:
         assert result.bucket(False, HitLevel.L1).count == 1
 
 
+class TestMSHRBookkeeping:
+    """Drive ``_apply_mshr`` directly — it is the unit-testable surface."""
+
+    def _sim(self):
+        return Simulator(build_hierarchy(base_2l(1)))
+
+    def _miss(self, latency=100):
+        from repro.common.types import AccessResult
+        return AccessResult(HitLevel.MEMORY, latency)
+
+    def _hit(self, latency=1):
+        from repro.common.types import AccessResult
+        return AccessResult(HitLevel.L1, latency)
+
+    def test_repeat_miss_coalesces(self):
+        # A second L1 *miss* to a line with an outstanding fill must not
+        # time a whole new fill: the request is already in flight, so it
+        # completes as a late hit with the residual latency.
+        sim = self._sim()
+        first = sim._apply_mshr(0, line=7, now=0.0, outcome=self._miss(100))
+        assert first.level is HitLevel.MEMORY
+        again = sim._apply_mshr(0, line=7, now=40.0, outcome=self._miss(100))
+        assert again.level is HitLevel.LATE
+        assert again.latency == 60  # residual, not a fresh 100
+        # ...and it did not extend or restart the outstanding fill
+        assert sim._outstanding[(0, 7)] == 100.0
+
+    def test_completed_entry_cleared_on_touch(self):
+        sim = self._sim()
+        sim._apply_mshr(0, line=7, now=0.0, outcome=self._miss(100))
+        out = sim._apply_mshr(0, line=7, now=150.0, outcome=self._hit())
+        assert out.level is HitLevel.L1  # fill long done: plain hit
+        assert (0, 7) not in sim._outstanding
+
+    def test_periodic_prune_drops_completed_entries(self):
+        sim = self._sim()
+        # one entry whose fill completes at t=10, one still outstanding
+        sim._apply_mshr(0, line=1, now=0.0, outcome=self._miss(10))
+        sim._apply_mshr(0, line=2, now=0.0, outcome=self._miss(10_000))
+        sim._core_time[0] = 500.0
+        sim._mshr_inserts = sim._MSHR_PRUNE_PERIOD - 1
+        sim._apply_mshr(0, line=3, now=500.0, outcome=self._miss(100))
+        assert (0, 1) not in sim._outstanding  # completed: pruned
+        assert (0, 2) in sim._outstanding      # still in flight: kept
+        assert (0, 3) in sim._outstanding      # the triggering insert
+        assert sim._mshr_inserts == 0
+
+
 class TestWarmup:
     def test_warmup_excluded_from_metrics(self):
         h = build_hierarchy(base_2l(4))
@@ -79,6 +127,42 @@ class TestWarmup:
         total_stats = (h.stats.get("l1.i.accesses")
                        + h.stats.get("l1.d.accesses"))
         assert total_stats == result.accesses  # warm-up was reset away
+
+    def test_roi_boundary_exact(self):
+        # ROI starts at the first access *after* the instruction that
+        # exhausts the warm-up budget: the final warm-up instruction and
+        # any accesses before the next one belong entirely to warm-up.
+        h = build_hierarchy(base_2l(1))
+        trace = [ifetch(0x100), load(0x8000),
+                 ifetch(0x110), load(0x8008),
+                 ifetch(0x120), load(0x8010),
+                 ifetch(0x130), load(0x8018)]
+        result = Simulator(h).run(_ScriptedWorkload(trace, h),
+                                  n_instructions=3, warmup=1)
+        # warm-up consumed ifetch(0x100); recording starts at load(0x8000)
+        assert result.instructions == 3
+        assert result.accesses == 7
+        assert sum(b.count for b in result.buckets.values()) == 7
+        assert result.count_where(instr=True) == 3
+        assert result.count_where(instr=False) == 4
+
+    def test_roi_stats_match_recorded_accesses(self):
+        # hierarchy stats are reset at the ROI boundary, so the L1
+        # access counters must equal exactly the recorded accesses
+        h = build_hierarchy(base_2l(4))
+        workload = make_workload("tpcc", 4, h.amap, seed=2)
+        result = Simulator(h).run(workload, 1_500, seed=2, warmup=700)
+        assert result.instructions == 1_500
+        total = h.stats.get("l1.i.accesses") + h.stats.get("l1.d.accesses")
+        assert total == result.accesses
+
+    def test_zero_warmup_records_everything(self):
+        h = build_hierarchy(base_2l(1))
+        trace = [ifetch(0x100), load(0x8000), ifetch(0x110)]
+        result = Simulator(h).run(_ScriptedWorkload(trace, h),
+                                  n_instructions=2, warmup=0)
+        assert result.instructions == 2
+        assert result.accesses == 3
 
     def test_warmup_lowers_miss_ratio(self):
         def run(warmup):
