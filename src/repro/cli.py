@@ -5,9 +5,15 @@ Commands:
 * ``list`` — available systems and workloads.
 * ``run`` — simulate one (system, workload) pair and print its summary.
 * ``report`` — regenerate a paper artifact (fig5/fig6/fig7/table4/...).
-* ``sweep`` — populate the shared run matrix cache up front.
+* ``sweep`` — populate the shared run matrix cache up front (with live
+  progress and a machine-readable ``progress.jsonl``).
+* ``trace`` — capture one run's protocol event stream and export it as
+  JSONL or Chrome ``trace_event`` JSON (Perfetto-viewable).
 * ``bench`` — time the simulator itself over a pinned matrix and emit
   a ``BENCH_<date>.json`` perf-tracking report.
+
+``repro --log-json FILE`` (or ``REPRO_LOG=FILE``) adds structured JSONL
+run logging to any command; ``-`` logs to stderr.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.common.params import SystemConfig, all_configs
+from repro.obs import runlog
 from repro.sim.runner import run_workload
 from repro.workloads.registry import get_spec, workload_names, workloads_by_category
 
@@ -38,8 +45,29 @@ ARTIFACTS = {
 }
 
 
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
+
+
 def _configs_by_cli_name() -> Dict[str, SystemConfig]:
     return {config.name.lower(): config for config in all_configs()}
+
+
+def _resolve_config(name: str) -> Optional[SystemConfig]:
+    configs = _configs_by_cli_name()
+    config = configs.get(name.lower())
+    if config is None:
+        print(f"unknown system {name!r}; pick from "
+              f"{sorted(configs)}", file=sys.stderr)
+    return config
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -55,11 +83,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    configs = _configs_by_cli_name()
-    config = configs.get(args.config.lower())
+    config = _resolve_config(args.config)
     if config is None:
-        print(f"unknown system {args.config!r}; pick from "
-              f"{sorted(configs)}", file=sys.stderr)
         return 2
     try:
         get_spec(args.workload)
@@ -71,7 +96,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            check_values=args.check,
                            sanitize=args.sanitize or None,
                            sanitize_every=args.sanitize_every or None,
-                           check_invariants=args.check_invariants)
+                           check_invariants=args.check_invariants,
+                           telemetry=True if args.hist else None)
     result = outcome.result
     print(f"{args.workload} on {config.name} "
           f"({result.instructions} instructions)")
@@ -99,6 +125,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      "ok" if outcome.invariants_ok else "VIOLATED"))
     for label, value in rows:
         print(f"  {label:22s}{value}")
+    hists = outcome.hist_summaries()
+    if args.hist and hists:
+        from repro.experiments.report import hist_table
+
+        print()
+        print(hist_table(hists))
     if outcome.invariants_checked and not outcome.invariants_ok:
         print(outcome.invariant_error, file=sys.stderr)
         return 1
@@ -106,6 +138,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.hist:
+        return _report_hist(args)
+    if not args.artifact:
+        print("report: an artifact name (or --hist) is required; pick from "
+              f"{sorted(ARTIFACTS)}", file=sys.stderr)
+        return 2
     module_name = ARTIFACTS.get(args.artifact)
     if module_name is None:
         print(f"unknown artifact {args.artifact!r}; pick from "
@@ -115,6 +153,76 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     module = importlib.import_module(f"repro.experiments.{module_name}")
     module.main()
+    return 0
+
+
+def _report_hist(args: argparse.Namespace) -> int:
+    """``repro report --hist``: histogram digests from the run cache."""
+    config = _resolve_config(args.config)
+    if config is None:
+        return 2
+    try:
+        get_spec(args.workload)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    from repro.experiments.report import hist_table
+    from repro.experiments.runner import _load_record, run_record_path
+    from repro.sim.runner import instruction_budget, warmup_budget
+
+    budget = args.instructions or instruction_budget()
+    warmup = warmup_budget(budget)
+    record = _load_record(run_record_path(args.workload, config.name, budget,
+                                          args.seed, warmup))
+    if record is None:
+        print(f"no cached run record for {args.workload} on {config.name} "
+              f"(instructions={budget}, seed={args.seed}); run "
+              f"`repro sweep --workloads {args.workload}` first",
+              file=sys.stderr)
+        return 2
+    if not record.hists:
+        print(f"cached record for {args.workload} on {config.name} has no "
+              f"histogram telemetry; regenerate it with REPRO_FRESH=1 "
+              f"repro sweep --workloads {args.workload}", file=sys.stderr)
+        return 2
+    print(hist_table(record.hists,
+                     title=f"Telemetry histograms: {args.workload} on "
+                           f"{config.name}"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = _resolve_config(args.config)
+    if config is None:
+        return 2
+    try:
+        get_spec(args.workload)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    from repro.obs.trace import TraceRecorder
+
+    recorder = TraceRecorder(window=args.window)
+    instructions = args.instructions
+    if args.quick and not instructions:
+        instructions = 4000
+    outcome = run_workload(config, args.workload, instructions=instructions,
+                           seed=args.seed, tracer=recorder)
+    extension = "jsonl" if args.format == "jsonl" else "json"
+    path = args.out or (f"trace_{config.name.lower()}_{args.workload}"
+                        f".{extension}")
+    with open(path, "w", encoding="utf-8") as handle:
+        if args.format == "chrome":
+            count = recorder.write_chrome(handle)
+        else:
+            count = recorder.write_jsonl(handle)
+    if recorder.recorded == 0:
+        print(f"note: {config.name} has no protocol tracer hooks "
+              f"(baseline); the trace is empty", file=sys.stderr)
+    print(f"{args.workload} on {config.name}: "
+          f"{outcome.result.instructions} instructions, "
+          f"{recorder.recorded} events recorded "
+          f"({count} exported, format {args.format}) -> {path}")
     return 0
 
 
@@ -172,7 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="D2M split cache hierarchy (HPCA 2017) reproduction",
+        epilog=f"repro version {_version()}",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_version()}")
+    parser.add_argument("--log-json", default="", metavar="DEST",
+                        help="append structured JSONL run logs to DEST "
+                             "('-' = stderr; REPRO_LOG is the env "
+                             "equivalent)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="available systems/workloads/artifacts")
@@ -186,10 +301,46 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--check", action="store_true",
                        help="enable the sequential value oracle (slower)")
+    run_p.add_argument("--hist", action="store_true",
+                       help="collect histogram telemetry and print the "
+                            "percentile digests")
     _add_checking_flags(run_p)
 
     report_p = sub.add_parser("report", help="regenerate a paper artifact")
-    report_p.add_argument("artifact", help=f"one of {sorted(ARTIFACTS)}")
+    report_p.add_argument("artifact", nargs="?", default="",
+                          help=f"one of {sorted(ARTIFACTS)}")
+    report_p.add_argument("--hist", action="store_true",
+                          help="print the cached run record's histogram "
+                               "digests instead of an artifact")
+    report_p.add_argument("--config", default="d2m-ns-r",
+                          help="(with --hist) system name")
+    report_p.add_argument("--workload", default="tpcc",
+                          help="(with --hist) workload name")
+    report_p.add_argument("--instructions", type=int, default=0,
+                          help="(with --hist) run key instruction budget")
+    report_p.add_argument("--seed", type=int, default=1,
+                          help="(with --hist) run key seed")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="capture one run's protocol events (JSONL or Chrome JSON)")
+    trace_p.add_argument("--config", default="d2m-ns-r",
+                         help="system name (baselines emit no events)")
+    trace_p.add_argument("--workload", default="tpcc")
+    trace_p.add_argument("--format", choices=("jsonl", "chrome"),
+                         default="jsonl",
+                         help="jsonl: one event per line; chrome: "
+                              "trace_event JSON for Perfetto")
+    trace_p.add_argument("--window", type=int, default=0, metavar="N",
+                         help="keep only the last N events (0 = all)")
+    trace_p.add_argument("--out", default="",
+                         help="output path (default "
+                              "trace_<config>_<workload>.<ext>)")
+    trace_p.add_argument("--instructions", type=int, default=0,
+                         help="0 = REPRO_INSTRUCTIONS or the default budget")
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument("--quick", action="store_true",
+                         help="small fixed budget (CI smoke mode)")
 
     sweep_p = sub.add_parser("sweep", help="populate the run-matrix cache")
     sweep_p.add_argument("--workloads", default="",
@@ -237,13 +388,19 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _cmd_run,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    if args.log_json:
+        runlog.configure(args.log_json)
+    runlog.emit("cli.start", command=args.command, version=_version())
+    exit_code = _HANDLERS[args.command](args)
+    runlog.emit("cli.end", command=args.command, exit_code=exit_code)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -63,6 +63,10 @@ class RunRecord:
     invariants_ok: bool = True        # walk passed (vacuously True otherwise)
     invariant_error: str = ""         # first violation message when not ok
 
+    # histogram telemetry digests: name -> {count, mean, max, p50, p90, p99}
+    # ({} when the run was simulated with telemetry off)
+    hists: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
     def to_json(self) -> dict:
         return asdict(self)
 
@@ -120,6 +124,7 @@ def record_from_outcome(outcome, category: str) -> RunRecord:
         invariants_checked=outcome.invariants_checked,
         invariants_ok=outcome.invariants_ok,
         invariant_error=outcome.invariant_error,
+        hists=outcome.hist_summaries(),
     )
 
 

@@ -81,6 +81,25 @@ def protocol_breakdown(outcome: RunOutcome) -> str:
                         title="Protocol events")
 
 
+def hist_table(hists: Dict[str, Dict[str, float]],
+               title: str = "Telemetry histograms") -> str:
+    """Render histogram percentile digests (run record ``hists`` shape)."""
+    rows = []
+    for name in sorted(hists):
+        digest = hists[name]
+        rows.append([
+            name,
+            f"{digest.get('count', 0):.0f}",
+            f"{digest.get('mean', 0.0):.1f}",
+            f"{digest.get('p50', 0):.0f}",
+            f"{digest.get('p90', 0):.0f}",
+            f"{digest.get('p99', 0):.0f}",
+            f"{digest.get('max', 0):.0f}",
+        ])
+    return render_table(["histogram", "count", "mean", "p50", "p90", "p99",
+                         "max"], rows, title=title)
+
+
 def full_report(config: SystemConfig, workload: str,
                 instructions: int = 0, seed: int = 1) -> RunOutcome:
     outcome = run_workload(config, workload, instructions, seed)
@@ -94,6 +113,10 @@ def full_report(config: SystemConfig, workload: str,
     if config.is_d2m:
         print()
         print(protocol_breakdown(outcome))
+    hists = outcome.hist_summaries()
+    if hists:
+        print()
+        print(hist_table(hists))
     return outcome
 
 

@@ -18,15 +18,18 @@ the worker count and ``REPRO_FRESH=1`` forces a full re-run.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
-import sys
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.params import SystemConfig, all_configs
 from repro.experiments.records import RunRecord, record_from_outcome
+from repro.obs import runlog
+from repro.obs.progress import PROGRESS_DIR_ENV, SweepProgress
 from repro.sim.parallel import RunFailure, execute_runs
 from repro.sim.runner import (
     RunSpec,
@@ -40,7 +43,8 @@ from repro.workloads.registry import CATEGORIES, get_spec, workload_names
 Matrix = Dict[str, Dict[str, RunRecord]]
 
 #: bump when RunRecord's schema or the simulation semantics change
-RUN_FORMAT = 6
+#: (7: histogram telemetry digests joined the record)
+RUN_FORMAT = 7
 
 
 class SweepError(RuntimeError):
@@ -140,7 +144,8 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
                instructions: int = 0, seed: int = 1,
                quiet: bool = False, jobs: Optional[int] = None,
                sanitize: bool = False, sanitize_every: int = 0,
-               check_invariants: bool = False) -> Matrix:
+               check_invariants: bool = False,
+               telemetry: bool = True) -> Matrix:
     """The shared run matrix, assembled from per-run cache records.
 
     Missing runs are simulated — in parallel when ``jobs`` (or
@@ -153,7 +158,15 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
     run a final-state invariant walk on each simulated run.  A sanitized
     run produces identical statistics, so its record also serves
     unchecked sweeps — but a cached record that *lacks* a requested
-    check is treated as a miss and re-simulated.
+    check is treated as a miss and re-simulated.  ``telemetry`` (default
+    on: neither it nor the sanitizer perturbs a run's statistics) stores
+    histogram percentile digests on each record; like the checks, a
+    cached record without them is a miss when they are requested.
+
+    Live progress goes through :class:`repro.obs.progress.SweepProgress`:
+    per-run completion lines (or an in-place line on a TTY, fed by
+    worker heartbeats) plus a machine-readable ``progress.jsonl`` in the
+    cache directory.  ``quiet`` silences the terminal rendering only.
     """
     workload_list = list(workloads) if workloads else sweep_workloads()
     config_list = list(configs) if configs else list(all_configs())
@@ -171,13 +184,15 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
             record = None if fresh else _load_record(path)
             if record is not None and ((sanitize and not record.sanitized) or
                                        (check_invariants
-                                        and not record.invariants_checked)):
+                                        and not record.invariants_checked) or
+                                       (telemetry and not record.hists)):
                 record = None  # cached run skipped a requested check
             if record is None:
                 pending.append(
                     (RunSpec(config, workload, budget, seed, warmup=warmup,
                              sanitize=sanitize, sanitize_every=sanitize_every,
-                             check_invariants=check_invariants),
+                             check_invariants=check_invariants,
+                             telemetry=telemetry),
                      path))
             else:
                 matrix[workload][config.name] = record
@@ -185,6 +200,10 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
     if pending:
         paths = [path for _, path in pending]
         specs = [spec for spec, _ in pending]
+        runlog.emit("sweep.start", pending=len(pending),
+                    cached=len(workload_list) * len(config_list)
+                    - len(pending),
+                    workloads=len(workload_list), configs=len(config_list))
 
         def persist(index: int, payload: dict) -> None:
             _atomic_write_json(paths[index], payload)
@@ -192,13 +211,34 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
             matrix[spec.workload][spec.config.name] = RunRecord.from_json(
                 payload)
 
-        def report(done: int, total: int, spec: RunSpec) -> None:
-            if not quiet:
-                print(f"[{done:3d}/{total}] {spec.workload} on "
-                      f"{spec.config.name}", file=sys.stderr, flush=True)
+        heartbeat_dir = tempfile.mkdtemp(prefix="progress-",
+                                         dir=str(cache_dir()))
+        previous_dir = os.environ.get(PROGRESS_DIR_ENV)
+        os.environ[PROGRESS_DIR_ENV] = heartbeat_dir
+        sweep_progress = SweepProgress(
+            total=len(pending),
+            stream=io.StringIO() if quiet else None,
+            jsonl_path=str(cache_dir() / "progress.jsonl"),
+            heartbeat_dir=heartbeat_dir,
+            inplace=False if quiet else None,
+        )
 
-        _, failures = execute_runs(specs, _simulate_record, jobs=jobs,
-                                   progress=report, on_result=persist)
+        def report(done: int, total: int, spec: RunSpec) -> None:
+            sweep_progress.run_done(done, total, spec.workload,
+                                    spec.config.name)
+
+        try:
+            with sweep_progress:
+                _, failures = execute_runs(specs, _simulate_record, jobs=jobs,
+                                           progress=report, on_result=persist)
+        finally:
+            if previous_dir is None:
+                os.environ.pop(PROGRESS_DIR_ENV, None)
+            else:
+                os.environ[PROGRESS_DIR_ENV] = previous_dir
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
+        runlog.emit("sweep.end", pending=len(pending),
+                    failures=len(failures))
         if failures:
             raise SweepError(failures)
     return matrix

@@ -85,6 +85,21 @@ class Network:
     def messages_of(self, kind: MessageKind) -> int:
         return sum(n for (k, _h), n in self._counts.items() if k is kind)
 
+    def hop_histogram(self):
+        """Per-message hop-count distribution as an obs ``Histogram``.
+
+        Derived from the ``(kind, hops)`` counts the hot path already
+        keeps, so telemetry pays nothing per message.  Zero-hop sends
+        never enter ``_counts`` (they are not network traffic), so the
+        distribution covers actual on-network messages only.
+        """
+        from repro.obs.histogram import Histogram
+
+        hist = Histogram("noc.hops", unit="hops")
+        for (_kind, hops), n in self._counts.items():
+            hist.record_many(hops, n)
+        return hist
+
     def flush(self) -> None:
         """Materialize the aggregate counters into the stats tree."""
         self.stats.set("messages", self.total_messages)

@@ -1,0 +1,38 @@
+"""Observability: structured logs, traces, histograms, sweep progress.
+
+The telemetry subsystem layered over the simulator and the core
+protocol's duck-typed ``tracer`` hooks (see
+:class:`repro.common.types.EventTracer`).  Four pillars, all
+pay-for-what-you-use — a run that asks for none of them only pays a
+``None`` check per access:
+
+* :mod:`repro.obs.runlog` — structured JSONL run logging
+  (``REPRO_LOG`` / ``repro --log-json``);
+* :mod:`repro.obs.trace` — protocol trace capture and export to JSONL
+  and Chrome ``trace_event`` (Perfetto) formats (``repro trace``);
+* :mod:`repro.obs.histogram` / :mod:`repro.obs.telemetry` — log2-bucket
+  latency, residency, hop-count, occupancy, and region-dwell histograms
+  whose percentile digests land in run records (``repro report --hist``);
+* :mod:`repro.obs.progress` — worker heartbeats and the live sweep
+  progress line plus machine-readable ``progress.jsonl``.
+
+See docs/OBSERVABILITY.md for schemas and overhead numbers.
+"""
+
+from repro.obs.histogram import Histogram, HistogramSet
+from repro.obs.progress import Heartbeat, SweepProgress
+from repro.obs.runlog import RunLogger
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import TraceRecorder, TracerFanout, attach_tracer
+
+__all__ = [
+    "Heartbeat",
+    "Histogram",
+    "HistogramSet",
+    "RunLogger",
+    "SweepProgress",
+    "Telemetry",
+    "TraceRecorder",
+    "TracerFanout",
+    "attach_tracer",
+]

@@ -1,0 +1,108 @@
+"""Structured JSONL run logging (``REPRO_LOG`` / ``repro --log-json``).
+
+One :class:`RunLogger` writes one JSON object per line: a timestamp, the
+emitting process id, an event name, and free-form fields.  The module
+keeps a process-global logger configured from the CLI switch or the
+``REPRO_LOG`` environment variable (which worker processes inherit, so
+one sweep's workers all append to the same file — each record is a
+single ``write()`` of one line, so concurrent appends stay line-atomic
+on POSIX).
+
+``emit`` is a no-op until a logger is configured: call sites sprinkle
+``runlog.emit(...)`` freely without an "is logging on?" dance and pay
+one global read when it is off.
+
+``warn`` replaces ad-hoc ``print(..., file=sys.stderr)`` warnings: the
+message always reaches stderr for humans *and* lands in the log when one
+is configured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import IO, Optional
+
+#: environment variable naming the log destination ("-" = stderr)
+LOG_ENV = "REPRO_LOG"
+
+#: not-yet-initialized sentinel for the lazy global logger
+_UNSET = object()
+
+
+class RunLogger:
+    """Writes structured events as JSON lines to one stream."""
+
+    __slots__ = ("path", "_stream", "_owns_stream")
+
+    def __init__(self, stream: IO[str], path: str = "",
+                 owns_stream: bool = False) -> None:
+        self.path = path
+        self._stream = stream
+        self._owns_stream = owns_stream
+
+    @staticmethod
+    def open(destination: str) -> "RunLogger":
+        """A logger writing to ``destination`` (a path, or "-" = stderr).
+
+        Files are opened in append mode: a sweep's worker processes and
+        its parent interleave whole lines, never partial ones.
+        """
+        if destination in ("-", "stderr"):
+            return RunLogger(sys.stderr, path="-")
+        stream = open(destination, "a", encoding="utf-8")
+        return RunLogger(stream, path=destination, owns_stream=True)
+
+    def log(self, event: str, **fields: object) -> None:
+        """Emit one record.  Field values must be JSON-serializable."""
+        record = {"ts": round(time.time(), 6), "pid": os.getpid(),
+                  "event": event}
+        record.update(fields)
+        try:
+            self._stream.write(json.dumps(record, default=str) + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead log stream must never kill a simulation
+
+    def close(self) -> None:
+        if self._owns_stream:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+
+
+_logger: object = _UNSET  # _UNSET | None | RunLogger
+
+
+def configure(destination: str) -> Optional[RunLogger]:
+    """Install the process-global logger (empty destination = disabled)."""
+    global _logger
+    if _logger is not _UNSET and isinstance(_logger, RunLogger):
+        _logger.close()
+    _logger = RunLogger.open(destination) if destination else None
+    return _logger if isinstance(_logger, RunLogger) else None
+
+
+def get() -> Optional[RunLogger]:
+    """The global logger, lazily configured from ``REPRO_LOG``."""
+    global _logger
+    if _logger is _UNSET:
+        _logger = (RunLogger.open(os.environ[LOG_ENV])
+                   if os.environ.get(LOG_ENV) else None)
+    return _logger if isinstance(_logger, RunLogger) else None
+
+
+def emit(event: str, **fields: object) -> None:
+    """Log one structured event if logging is configured (else no-op)."""
+    logger = get()
+    if logger is not None:
+        logger.log(event, **fields)
+
+
+def warn(message: str, **fields: object) -> None:
+    """A warning: always printed to stderr, also logged when configured."""
+    print(message, file=sys.stderr)
+    emit("warning", message=message, **fields)

@@ -7,24 +7,35 @@ on a ``ProcessPoolExecutor`` with per-run failure isolation: one crashed
 run becomes a :class:`RunFailure` in the returned list instead of
 killing the sweep, and every completed result is still delivered.
 
+Workers capture their own stdout/stderr (``capture=True``, the default
+for the multiprocess path): each run's output ships back to the parent
+with its payload and is replayed there as one contiguous block, so a
+``--jobs N`` sweep never interleaves two runs' output mid-line.
+
 ``jobs == 1`` bypasses multiprocessing entirely and runs in-process, in
 spec order — the deterministic path tests and debuggers rely on.
 """
 
 from __future__ import annotations
 
+import io
 import os
+import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import redirect_stderr, redirect_stdout
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import runlog
 from repro.sim.runner import RunSpec
 
 #: progress callback: (completed_count, total, spec_just_finished)
 ProgressFn = Callable[[int, int, RunSpec], None]
 #: result callback, called in the parent as each run lands: (index, payload)
 ResultFn = Callable[[int, object], None]
+#: worker-output callback: (index, captured_text), parent side
+OutputFn = Callable[[int, str], None]
 
 
 def job_count(jobs: Optional[int] = None) -> int:
@@ -36,9 +47,7 @@ def job_count(jobs: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            import sys
-            print(f"ignoring non-integer REPRO_JOBS={env!r}",
-                  file=sys.stderr)
+            runlog.warn(f"ignoring non-integer REPRO_JOBS={env!r}")
     return os.cpu_count() or 1
 
 
@@ -69,12 +78,54 @@ class RunFailure:
         return lines[-1] if lines else "?"
 
 
+@dataclass
+class _WorkerResult:
+    """What a captured worker ships back: payload or traceback + output."""
+
+    payload: object
+    error: str
+    output: str
+
+
+class _CapturedCall:
+    """Picklable wrapper running ``fn`` with stdout/stderr captured."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[RunSpec], object]) -> None:
+        self.fn = fn
+
+    def __call__(self, spec: RunSpec) -> _WorkerResult:
+        buffer = io.StringIO()
+        try:
+            with redirect_stdout(buffer), redirect_stderr(buffer):
+                payload = self.fn(spec)
+        except Exception:
+            return _WorkerResult(None, traceback.format_exc(),
+                                 buffer.getvalue())
+        return _WorkerResult(payload, "", buffer.getvalue())
+
+
+def _default_output(spec: RunSpec, text: str) -> None:
+    """Replay one worker's captured output as a single stderr block."""
+    label = f"{spec.workload} on {spec.config.name} (seed {spec.seed})"
+    block = f"-- output from {label} --\n{text}"
+    if not block.endswith("\n"):
+        block += "\n"
+    sys.stderr.write(block)
+    sys.stderr.flush()
+    runlog.emit("worker.output", workload=spec.workload,
+                config=spec.config.name, seed=spec.seed, output=text)
+
+
 def execute_runs(
     specs: Sequence[RunSpec],
     fn: Callable[[RunSpec], object],
     jobs: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     on_result: Optional[ResultFn] = None,
+    on_output: Optional[OutputFn] = None,
+    capture: bool = True,
 ) -> Tuple[Dict[int, object], List[RunFailure]]:
     """Run ``fn(spec)`` for every spec, fanning out over processes.
 
@@ -84,6 +135,11 @@ def execute_runs(
     results back through the pool).  ``on_result`` fires in the parent
     as each run lands — before ``progress`` — so callers can persist
     completed runs incrementally and an interrupted sweep keeps them.
+
+    With ``capture`` (multiprocess path only — the serial path's output
+    is already ordered), each worker's stdout/stderr is buffered and
+    replayed in the parent as one block per run via ``on_output``
+    (default: a labelled block on stderr), never interleaved.
     """
     specs = list(specs)
     total = len(specs)
@@ -105,6 +161,14 @@ def execute_runs(
         if progress is not None:
             progress(done, total, spec)
 
+    def _emit_output(index: int, text: str) -> None:
+        if not text:
+            return
+        if on_output is not None:
+            on_output(index, text)
+        else:
+            _default_output(specs[index], text)
+
     if workers <= 1:
         for index, spec in enumerate(specs):
             try:
@@ -115,20 +179,29 @@ def execute_runs(
                 _land(index, payload, index + 1)
         return results, failures
 
+    task = _CapturedCall(fn) if capture else fn
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(fn, spec): index
+        futures = {pool.submit(task, spec): index
                    for index, spec in enumerate(specs)}
         done = 0
         for future in as_completed(futures):
             index = futures[future]
             done += 1
             try:
-                payload = future.result()
+                shipped = future.result()
             except Exception:
                 # Includes BrokenProcessPool: a hard-killed worker fails
                 # the runs it held, and the rest are reported as they
                 # drain — the sweep itself survives.
                 _fail(index, done, traceback.format_exc())
+                continue
+            if capture:
+                worker = shipped  # type: _WorkerResult
+                _emit_output(index, worker.output)
+                if worker.error:
+                    _fail(index, done, worker.error)
+                else:
+                    _land(index, worker.payload, done)
             else:
-                _land(index, payload, done)
+                _land(index, shipped, done)
     return results, failures

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import time as _time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
@@ -40,6 +41,11 @@ def sanitize_default() -> bool:
     return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
+def telemetry_default() -> bool:
+    """Whether REPRO_TELEMETRY asks for histogram telemetry by default."""
+    return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
+
+
 def sanitize_every_default() -> int:
     """Full-walk sampling period from REPRO_SANITIZE_EVERY (0 = off)."""
     value = os.environ.get("REPRO_SANITIZE_EVERY", "")
@@ -59,6 +65,7 @@ class RunSpec:
     sanitize: bool = False        # attach the coherence sanitizer (D2M only)
     sanitize_every: int = 0       # full-walk sampling period (0 = off)
     check_invariants: bool = False  # full invariant walk on the final state
+    telemetry: bool = False       # collect histogram telemetry (obs package)
 
 
 @dataclass
@@ -73,6 +80,13 @@ class RunOutcome:
     invariants_checked: bool = False  # final-state invariant walk performed
     invariants_ok: bool = True      # walk passed (vacuously True otherwise)
     invariant_error: str = ""       # first violation message when not ok
+    telemetry: Optional[object] = None  # obs.telemetry.Telemetry when collected
+
+    def hist_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Histogram percentile digests ({} when telemetry was off)."""
+        if self.telemetry is None:
+            return {}
+        return self.telemetry.summaries()  # type: ignore[attr-defined]
 
     # -- Figure 5 ---------------------------------------------------------
 
@@ -152,7 +166,10 @@ def run_workload(config: SystemConfig, workload_name: str,
                  warmup: Optional[int] = None,
                  sanitize: Optional[bool] = None,
                  sanitize_every: Optional[int] = None,
-                 check_invariants: bool = False) -> RunOutcome:
+                 check_invariants: bool = False,
+                 telemetry: Optional[bool] = None,
+                 tracer: Optional[object] = None,
+                 heartbeat: Optional[object] = None) -> RunOutcome:
     """Simulate one workload on one system configuration.
 
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` (or
@@ -163,10 +180,19 @@ def run_workload(config: SystemConfig, workload_name: str,
     sanitizer violation raises out of the run, while
     ``check_invariants`` records the final-state walk's pass/fail on the
     outcome instead of raising.
+
+    ``telemetry=None`` defaults from ``REPRO_TELEMETRY``; when on, a
+    :class:`repro.obs.telemetry.Telemetry` collects latency / occupancy /
+    dwell histograms and lands on the outcome.  ``tracer`` attaches an
+    extra :class:`~repro.common.types.EventTracer` (e.g. a
+    :class:`~repro.obs.trace.TraceRecorder`) alongside any sanitizer.
+    ``heartbeat`` is a sweep-progress :class:`~repro.obs.progress.Heartbeat`
+    driven once per simulated access.
     """
     budget = instructions or instruction_budget()
     roi_warmup = warmup if warmup is not None else warmup_budget(budget)
     do_sanitize = sanitize if sanitize is not None else sanitize_default()
+    do_telemetry = telemetry if telemetry is not None else telemetry_default()
     every = (sanitize_every if sanitize_every is not None
              else sanitize_every_default())
     hierarchy = build_hierarchy(config)
@@ -175,11 +201,36 @@ def run_workload(config: SystemConfig, workload_name: str,
     if do_sanitize:
         from repro.analysis.sanitizer import attach_sanitizer
         sanitizer = attach_sanitizer(hierarchy, every=every)
+    # A sweep heartbeat without requested telemetry still needs the
+    # per-access tick, but must not attach tracers or export histograms
+    # (a telemetry-off record stays telemetry-off).
+    tele = None
+    if do_telemetry or heartbeat is not None:
+        from repro.obs.telemetry import Telemetry
+        tele = Telemetry(heartbeat=heartbeat)
+        if do_telemetry:
+            tele.attach(hierarchy)
+    if tracer is not None:
+        from repro.obs.trace import attach_tracer
+        attach_tracer(hierarchy, tracer)
     workload = make_workload(workload_name, config.nodes, hierarchy.amap,
                              seed=seed)
-    simulator = Simulator(hierarchy, check_values=check_values)
+    from repro.obs import runlog
+    runlog.emit("run.start", workload=workload_name, config=config.name,
+                instructions=budget, warmup=roi_warmup, seed=seed,
+                sanitize=do_sanitize, telemetry=do_telemetry)
+    started = _time.monotonic()
+    simulator = Simulator(hierarchy, check_values=check_values,
+                          telemetry=tele)
     result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup)
+    if tele is not None:
+        tele.finalize(hierarchy if do_telemetry else None)
     perf = PerfModel(config.ooo).summarize(result)
+    elapsed = _time.monotonic() - started
+    runlog.emit("run.end", workload=workload_name, config=config.name,
+                instructions=result.instructions, accesses=result.accesses,
+                cycles=perf.cycles, elapsed_s=round(elapsed, 3),
+                ips=round(result.accesses / elapsed, 1) if elapsed else 0.0)
     invariants_checked = False
     invariants_ok = True
     invariant_error = ""
@@ -194,7 +245,8 @@ def run_workload(config: SystemConfig, workload_name: str,
     return RunOutcome(
         spec=RunSpec(config, workload_name, budget, seed, check_values,
                      roi_warmup, sanitize=do_sanitize, sanitize_every=every,
-                     check_invariants=check_invariants),
+                     check_invariants=check_invariants,
+                     telemetry=do_telemetry),
         result=result,
         perf=perf,
         hierarchy=hierarchy,
@@ -204,16 +256,26 @@ def run_workload(config: SystemConfig, workload_name: str,
         invariants_checked=invariants_checked,
         invariants_ok=invariants_ok,
         invariant_error=invariant_error,
+        telemetry=tele if do_telemetry else None,
     )
 
 
 def run_spec(spec: RunSpec) -> RunOutcome:
-    """Execute one :class:`RunSpec` — the unit parallel workers run."""
+    """Execute one :class:`RunSpec` — the unit parallel workers run.
+
+    When the parent exported a sweep-progress heartbeat directory
+    (``REPRO_PROGRESS_DIR``), the run beats into it so ``repro sweep``
+    can render live per-worker progress.
+    """
+    from repro.obs.progress import Heartbeat
+    heartbeat = Heartbeat.from_env(f"{spec.workload}/{spec.config.name}")
     return run_workload(spec.config, spec.workload, spec.instructions,
                         spec.seed, check_values=spec.check_values,
                         warmup=spec.warmup, sanitize=spec.sanitize,
                         sanitize_every=spec.sanitize_every,
-                        check_invariants=spec.check_invariants)
+                        check_invariants=spec.check_invariants,
+                        telemetry=spec.telemetry or None,
+                        heartbeat=heartbeat)
 
 
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],

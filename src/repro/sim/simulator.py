@@ -103,9 +103,12 @@ class SimResult:
 class Simulator:
     """Drives one workload through one hierarchy."""
 
-    def __init__(self, hierarchy, check_values: bool = True) -> None:
+    def __init__(self, hierarchy, check_values: bool = True,
+                 telemetry=None) -> None:
         self.hierarchy = hierarchy
         self.check_values = check_values
+        #: optional repro.obs.telemetry.Telemetry sink; None = zero cost
+        self.telemetry = telemetry
         self.oracle = VersionOracle()
         self._core_time: Dict[int, float] = {}
         self._outstanding: Dict[Tuple[int, int], float] = {}
@@ -175,6 +178,9 @@ class Simulator:
         roi_pending = False
         instructions = 0
         accesses = 0
+        telemetry = self.telemetry
+        tele_tick = telemetry.tick if telemetry is not None else None
+        tele_access = telemetry.on_access if telemetry is not None else None
         for acc in generate(warmup + n_instructions, seed):
             core = acc.core
             kind = acc.kind
@@ -194,6 +200,10 @@ class Simulator:
                 self.hierarchy.network.reset()
                 self.hierarchy.energy.reset()
                 recording = True
+                # Mirror the local so _apply_mshr (which only sees the
+                # instance) can scope telemetry to the ROI; this branch
+                # runs once per run.
+                self._recording = True
                 roi_pending = False
             now = core_time.get(core, 0.0)
             if kind is ifetch:
@@ -210,6 +220,8 @@ class Simulator:
                         roi_pending = True
             if recording:
                 accesses += 1
+            if tele_tick is not None:
+                tele_tick()
 
             if kind is store:
                 version = on_store(line) if check_values else 1
@@ -233,6 +245,8 @@ class Simulator:
                     buckets[key] = bucket
                 bucket.count += 1
                 bucket.total_latency += latency
+                if tele_access is not None:
+                    tele_access(level, latency)
                 if level is not hit_l1 and level is not hit_late:
                     lat = instr_miss_latency if instr else data_miss_latency
                     lat[core] = lat.get(core, 0) + latency
@@ -278,6 +292,9 @@ class Simulator:
         if outcome.level is HitLevel.L1:
             return outcome
         self._outstanding[key] = now + outcome.latency
+        telemetry = self.telemetry
+        if telemetry is not None and self._recording:
+            telemetry.on_mshr(outcome.latency)
         # Entries for lines never re-accessed would otherwise accumulate
         # forever; periodically drop every entry whose fill has completed
         # (observable behaviour is identical — completed entries are

@@ -34,3 +34,32 @@ class TestFromOutcome:
         assert rec.md1_hits > 0
         assert 0 <= rec.direct_ns_fraction <= 1
         assert rec.edp_d2m_share > 0
+
+
+class TestHistDigests:
+    def test_telemetry_off_leaves_hists_empty(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4)
+        assert record_from_outcome(out, "HPC").hists == {}
+
+    def test_telemetry_on_fills_digests(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4,
+                           telemetry=True)
+        rec = record_from_outcome(out, "HPC")
+        assert "latency.L1" in rec.hists
+        assert "noc.hops" in rec.hists
+        digest = rec.hists["latency.L1"]
+        assert {"count", "mean", "max", "p50", "p90", "p99"} <= set(digest)
+        assert digest["count"] > 0
+
+    def test_hists_survive_json_roundtrip(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4,
+                           telemetry=True)
+        rec = record_from_outcome(out, "HPC")
+        again = RunRecord.from_json(rec.to_json())
+        assert again.hists == rec.hists
+
+    def test_old_record_without_hists_field_still_loads(self):
+        data = RunRecord(workload="w", category="HPC", config="Base-2L",
+                         instructions=100).to_json()
+        del data["hists"]
+        assert RunRecord.from_json(data).hists == {}

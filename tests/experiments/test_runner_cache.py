@@ -53,6 +53,59 @@ class TestCacheKey:
         assert len(run_files(cache)) == 2
 
 
+class TestTelemetryCacheInterplay:
+    def test_records_carry_hist_digests_by_default(self, cache):
+        matrix = get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                            instructions=1_000, seed=5, quiet=True, jobs=1)
+        record = matrix["water"]["D2M-FS"]
+        assert record.hists
+        assert "latency.L1" in record.hists
+
+    def test_record_without_hists_is_a_miss_when_requested(self, cache):
+        get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1,
+                   telemetry=False)
+        [path] = run_files(cache)
+        assert json.loads(path.read_text())["hists"] == {}
+        before = path.stat().st_mtime_ns
+        matrix = get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                            instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert matrix["water"]["D2M-FS"].hists  # re-simulated with telemetry
+        assert path.stat().st_mtime_ns != before
+
+    def test_record_with_hists_serves_telemetry_off_sweeps(self, cache,
+                                                           monkeypatch):
+        get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+
+        def explode(spec):
+            raise AssertionError("cache should have served this run")
+
+        monkeypatch.setattr(runner, "run_spec", explode)
+        matrix = get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                            instructions=1_000, seed=5, quiet=True, jobs=1,
+                            telemetry=False)
+        assert matrix["water"]["D2M-FS"].hists
+
+    def test_progress_jsonl_written(self, cache):
+        get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        events = [json.loads(line) for line in
+                  (cache / "progress.jsonl").read_text().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "sweep.start"
+        assert "run.done" in kinds
+        assert kinds[-1] == "sweep.end"
+
+    def test_heartbeat_dir_cleaned_up(self, cache, monkeypatch):
+        import os
+        monkeypatch.delenv("REPRO_PROGRESS_DIR", raising=False)
+        get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert not list(cache.glob("progress-*"))
+        assert "REPRO_PROGRESS_DIR" not in os.environ
+
+
 class TestPerRunCache:
     def count_runs(self, monkeypatch):
         """Count actual simulations through the in-process worker path."""

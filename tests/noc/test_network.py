@@ -69,3 +69,49 @@ class TestNetwork:
         net.send(MessageKind.INVALIDATE, 0, 2)
         assert net.messages_of(MessageKind.INVALIDATE) == 2
         assert net.messages_of(MessageKind.READ_REQ) == 0
+
+    def test_multicast_latency_is_worst_branch(self):
+        net = make_network()
+        # a branch to self is free; the others cost one hop each
+        latency = net.multicast(MessageKind.INVALIDATE, 1, [1, 0, 2])
+        assert latency == 16
+        assert net.total_messages == 2  # the self branch is uncounted
+
+
+class TestHopHistogram:
+    def test_empty_network(self):
+        hist = make_network().hop_histogram()
+        assert hist.count == 0
+        assert hist.name == "noc.hops"
+        assert hist.unit == "hops"
+
+    def test_counts_every_on_network_message(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, 1)
+        net.send(MessageKind.DATA_REPLY, 1, 0)
+        net.send(MessageKind.DIRECT_READ, 2, 2)  # zero hops: uncounted
+        hist = net.hop_histogram()
+        assert hist.count == net.total_messages == 2
+
+    def test_distribution_matches_topology_hops(self):
+        net = make_network()
+        for dst in (1, 2, 3):
+            net.send(MessageKind.READ_REQ, 0, dst)
+        hist = net.hop_histogram()
+        # crossbar: every remote destination is exactly one hop away
+        assert hist.max == net.topology.hops(0, 1)
+        assert hist.percentile(99) == hist.max
+
+    def test_histogram_is_derived_not_live(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, 1)
+        first = net.hop_histogram()
+        net.send(MessageKind.READ_REQ, 0, 2)
+        assert first.count == 1  # snapshot, untouched by later traffic
+        assert net.hop_histogram().count == 2
+
+    def test_reset_clears_distribution(self):
+        net = make_network()
+        net.send(MessageKind.READ_REQ, 0, 1)
+        net.reset()
+        assert net.hop_histogram().count == 0

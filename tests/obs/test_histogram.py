@@ -1,0 +1,121 @@
+"""Unit tests for the log2-bucket histogram primitive."""
+
+import pytest
+
+from repro.obs.histogram import (
+    N_BUCKETS,
+    Histogram,
+    HistogramSet,
+    bucket_bounds,
+    bucket_of,
+    merge_summaries,
+)
+
+
+class TestBucketing:
+    def test_bucket_of_matches_bit_length(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(1) == 1
+        assert bucket_of(2) == 2
+        assert bucket_of(3) == 2
+        assert bucket_of(4) == 3
+        assert bucket_of(1023) == 10
+        assert bucket_of(1024) == 11
+
+    def test_bounds_cover_their_bucket(self):
+        for value in (0, 1, 2, 3, 7, 8, 100, 2**40):
+            lo, hi = bucket_bounds(bucket_of(value))
+            assert lo <= value <= hi
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_of(2 ** (N_BUCKETS + 5)) == N_BUCKETS - 1
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram("x")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0
+        assert hist.summary()["count"] == 0
+
+    def test_record_updates_count_total_max(self):
+        hist = Histogram("x", unit="cycles")
+        for value in (1, 2, 3, 100):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.total == 106
+        assert hist.max == 100
+        assert hist.mean == pytest.approx(26.5)
+
+    def test_percentile_is_bucket_bound_capped_at_max(self):
+        hist = Histogram("x")
+        for _ in range(99):
+            hist.record(1)
+        hist.record(100)
+        assert hist.percentile(50) == 1
+        # p100 tail lands in 100's bucket (64..127) but caps at max seen
+        assert hist.percentile(100) == 100
+
+    def test_record_many_equals_repeated_record(self):
+        one = Histogram("a")
+        many = Histogram("b")
+        for _ in range(7):
+            one.record(12)
+        many.record_many(12, 7)
+        assert one.count == many.count
+        assert one.total == many.total
+        assert list(one.nonzero_buckets()) == list(many.nonzero_buckets())
+
+    def test_merge(self):
+        a = Histogram("x")
+        b = Histogram("x")
+        a.record(1)
+        b.record(1000)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max == 1000
+
+    def test_json_roundtrip(self):
+        hist = Histogram("lat", unit="cycles")
+        for value in (0, 1, 5, 70000):
+            hist.record(value)
+        back = Histogram.from_json(hist.to_json())
+        assert back.name == "lat"
+        assert back.unit == "cycles"
+        assert back.count == hist.count
+        assert back.summary() == hist.summary()
+
+
+class TestHistogramSet:
+    def test_get_creates_lazily(self):
+        hists = HistogramSet()
+        assert len(hists) == 0
+        hists.get("a").record(1)
+        assert "a" in hists
+        assert hists.get("a").count == 1
+
+    def test_summaries_skip_empty(self):
+        hists = HistogramSet()
+        hists.get("empty")
+        hists.get("full").record(3)
+        assert set(hists.summaries()) == {"full"}
+
+    def test_json_roundtrip_and_merge(self):
+        hists = HistogramSet()
+        hists.get("a").record(2)
+        other = HistogramSet.from_json(hists.to_json())
+        other.get("a").record(4)
+        hists.merge(other)
+        assert hists.get("a").count == 3
+
+
+class TestMergeSummaries:
+    def test_stable_union_first_wins(self):
+        merged = merge_summaries([
+            {"a": {"count": 1, "p50": 2}},
+            {"a": {"count": 3, "p50": 4}, "b": {"count": 1, "p50": 1}},
+        ])
+        assert set(merged) == {"a", "b"}
+        assert merged["a"]["count"] == 1  # first summary carrying "a" wins
+        assert merged["b"]["count"] == 1

@@ -1,0 +1,96 @@
+"""Tests for sweep progress: heartbeats, rendering, progress.jsonl."""
+
+import io
+import json
+
+from repro.obs.progress import (
+    PROGRESS_DIR_ENV,
+    Heartbeat,
+    SweepProgress,
+    read_heartbeats,
+)
+
+
+class TestHeartbeat:
+    def test_from_env_requires_directory(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(PROGRESS_DIR_ENV, raising=False)
+        assert Heartbeat.from_env("x") is None
+        monkeypatch.setenv(PROGRESS_DIR_ENV, str(tmp_path / "missing"))
+        assert Heartbeat.from_env("x") is None
+        monkeypatch.setenv(PROGRESS_DIR_ENV, str(tmp_path))
+        assert Heartbeat.from_env("x") is not None
+
+    def test_beat_writes_rate_limited(self, tmp_path):
+        path = tmp_path / "hb-1.json"
+        beat = Heartbeat(str(path), "tpcc/D2M-NS-R", min_interval_s=3600)
+        beat.beat(100, force=True)
+        record = json.loads(path.read_text())
+        assert record["run"] == "tpcc/D2M-NS-R"
+        assert record["accesses"] == 100
+        beat.beat(200)  # inside the interval: not written
+        assert json.loads(path.read_text())["accesses"] == 100
+        beat.finish(300)  # finish always writes
+        assert json.loads(path.read_text())["accesses"] == 300
+
+    def test_read_heartbeats_tolerates_garbage(self, tmp_path):
+        (tmp_path / "hb-1.json").write_text('{"run": "a", "accesses": 1}')
+        (tmp_path / "hb-2.json").write_text('{"torn')
+        (tmp_path / "not-a-beat.txt").write_text("x")
+        beats = read_heartbeats(str(tmp_path))
+        assert len(beats) == 1
+        assert beats[0]["run"] == "a"
+
+    def test_read_heartbeats_missing_directory(self, tmp_path):
+        assert read_heartbeats(str(tmp_path / "nope")) == []
+
+
+class TestSweepProgress:
+    def test_per_line_mode_prints_each_completion(self, tmp_path):
+        stream = io.StringIO()
+        progress = SweepProgress(total=2, stream=stream, inplace=False)
+        progress.run_done(1, 2, "tpcc", "Base-2L")
+        progress.run_done(2, 2, "tpcc", "D2M-NS-R")
+        progress.close()
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[  1/2] tpcc on Base-2L")
+        assert lines[1].startswith("[  2/2] tpcc on D2M-NS-R")
+
+    def test_inplace_mode_rewrites_one_line(self, tmp_path):
+        stream = io.StringIO()
+        progress = SweepProgress(total=2, stream=stream, inplace=True)
+        progress.run_done(1, 2, "tpcc", "Base-2L")
+        progress.close()
+        assert "\r" in stream.getvalue()
+        assert stream.getvalue().endswith("\n")
+
+    def test_progress_jsonl_records_lifecycle(self, tmp_path):
+        jsonl = tmp_path / "progress.jsonl"
+        progress = SweepProgress(total=1, stream=io.StringIO(),
+                                 jsonl_path=str(jsonl), inplace=False)
+        progress.run_done(1, 1, "tpcc", "D2M-NS-R")
+        progress.close()
+        events = [json.loads(line)
+                  for line in jsonl.read_text().splitlines()]
+        assert [e["event"] for e in events] == ["sweep.start", "run.done",
+                                                "sweep.end"]
+        assert events[1]["workload"] == "tpcc"
+        assert events[1]["done"] == 1
+        assert all("ts" in e for e in events)
+
+    def test_render_folds_in_heartbeats(self, tmp_path):
+        (tmp_path / "hb-1.json").write_text(json.dumps(
+            {"run": "tpcc/D2M-NS", "ips": 1500.0, "accesses": 10}))
+        progress = SweepProgress(total=4, stream=io.StringIO(),
+                                 heartbeat_dir=str(tmp_path), inplace=False)
+        progress.done = 1
+        line = progress.render()
+        assert "[1/4]" in line
+        assert "tpcc/D2M-NS" in line
+        assert "acc/s" in line
+
+    def test_eta_needs_at_least_one_completion(self):
+        progress = SweepProgress(total=3, stream=io.StringIO(),
+                                 inplace=False)
+        assert progress.eta_s() is None
+        progress.done = 1
+        assert progress.eta_s() is not None

@@ -1,0 +1,80 @@
+"""Unit tests for structured JSONL run logging."""
+
+import json
+
+from repro.obs import runlog
+from repro.obs.runlog import LOG_ENV, RunLogger
+
+
+class TestRunLogger:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "run.log"
+        logger = RunLogger.open(str(path))
+        logger.log("run.start", workload="tpcc", seed=1)
+        logger.log("run.end", accesses=100)
+        logger.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["run.start", "run.end"]
+        assert records[0]["workload"] == "tpcc"
+        assert all("ts" in r and "pid" in r for r in records)
+
+    def test_appends_across_openings(self, tmp_path):
+        path = tmp_path / "run.log"
+        for i in range(2):
+            logger = RunLogger.open(str(path))
+            logger.log("ping", i=i)
+            logger.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_dash_targets_stderr(self, capsys):
+        logger = RunLogger.open("-")
+        logger.log("hello")
+        record = json.loads(capsys.readouterr().err)
+        assert record["event"] == "hello"
+
+    def test_non_serializable_field_falls_back_to_str(self, tmp_path):
+        path = tmp_path / "run.log"
+        logger = RunLogger.open(str(path))
+        logger.log("odd", value=object())
+        logger.close()
+        record = json.loads(path.read_text())
+        assert "object" in record["value"]
+
+
+class TestModuleGlobals:
+    def test_emit_is_noop_when_unconfigured(self, monkeypatch):
+        monkeypatch.delenv(LOG_ENV, raising=False)
+        runlog.configure("")
+        runlog.emit("ignored", x=1)  # must not raise or print
+
+    def test_configure_then_emit(self, tmp_path):
+        path = tmp_path / "run.log"
+        runlog.configure(str(path))
+        try:
+            runlog.emit("configured", x=1)
+        finally:
+            runlog.configure("")
+        assert json.loads(path.read_text())["event"] == "configured"
+
+    def test_env_configures_lazily(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.log"
+        monkeypatch.setenv(LOG_ENV, str(path))
+        runlog.configure("")  # reset any prior global
+        runlog._logger = runlog._UNSET  # force re-read of the env
+        try:
+            runlog.emit("from-env")
+        finally:
+            runlog.configure("")
+        assert json.loads(path.read_text())["event"] == "from-env"
+
+    def test_warn_reaches_stderr_and_log(self, tmp_path, capsys):
+        path = tmp_path / "run.log"
+        runlog.configure(str(path))
+        try:
+            runlog.warn("careful now", context="test")
+        finally:
+            runlog.configure("")
+        assert "careful now" in capsys.readouterr().err
+        record = json.loads(path.read_text())
+        assert record["event"] == "warning"
+        assert record["message"] == "careful now"

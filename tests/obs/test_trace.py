@@ -1,0 +1,137 @@
+"""Unit tests for trace capture, export formats, and tracer fanout."""
+
+import io
+import json
+
+from repro.common.params import base_2l, d2m_ns_r
+from repro.core.hierarchy import build_hierarchy
+from repro.obs.trace import (
+    MD3_TRACK,
+    TraceRecorder,
+    TracerFanout,
+    attach_tracer,
+    validate_trace_record,
+)
+from repro.sim.runner import run_workload
+
+
+class _CountingTracer:
+    def __init__(self):
+        self.begins = 0
+        self.emits = 0
+        self.ends = 0
+
+    def begin_access(self, node, line, region, idx, detail=""):
+        self.begins += 1
+
+    def emit(self, kind, node=None, line=None, region=None, idx=None,
+             detail=""):
+        self.emits += 1
+
+    def end_access(self):
+        self.ends += 1
+
+
+class TestTracerFanout:
+    def test_dispatches_to_all(self):
+        a, b = _CountingTracer(), _CountingTracer()
+        fan = TracerFanout([a, b])
+        fan.begin_access(0, 1, 2, 3)
+        fan.emit("x")
+        fan.end_access()
+        for tracer in (a, b):
+            assert (tracer.begins, tracer.emits, tracer.ends) == (1, 1, 1)
+
+    def test_attach_composes_with_existing_tracer(self):
+        hierarchy = build_hierarchy(d2m_ns_r())
+        first, second = _CountingTracer(), _CountingTracer()
+        assert attach_tracer(hierarchy, first)
+        assert attach_tracer(hierarchy, second)
+        hierarchy.protocol.tracer.emit("test")
+        assert first.emits == 1
+        assert second.emits == 1
+
+    def test_attach_refuses_baselines(self):
+        hierarchy = build_hierarchy(base_2l())
+        assert attach_tracer(hierarchy, _CountingTracer()) is False
+
+
+class TestTraceRecorder:
+    def _traced_run(self, window=0, instructions=1500):
+        recorder = TraceRecorder(window=window)
+        run_workload(d2m_ns_r(), "water", instructions=instructions,
+                     seed=1, tracer=recorder)
+        return recorder
+
+    def test_records_events_with_access_time_axis(self):
+        recorder = self._traced_run()
+        assert recorder.recorded > 0
+        times = [t for t, _event in recorder.events()]
+        assert times == sorted(times)
+        assert times[-1] >= 1
+
+    def test_window_keeps_only_the_tail(self):
+        recorder = self._traced_run(window=100)
+        assert recorder.recorded > 100
+        assert len(recorder) == 100
+        # the ring holds the newest events
+        assert recorder.events()[-1][1].seq == recorder.recorded - 1
+
+    def test_jsonl_export_is_schema_valid(self):
+        recorder = self._traced_run()
+        buffer = io.StringIO()
+        count = recorder.write_jsonl(buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == len(lines) == len(recorder)
+        for line in lines:
+            assert validate_trace_record(json.loads(line)) is None
+
+    def test_chrome_export_shape(self):
+        recorder = self._traced_run(window=400)
+        buffer = io.StringIO()
+        recorder.write_chrome(buffer)
+        doc = json.loads(buffer.getvalue())
+        events = doc["traceEvents"]
+        assert events
+        phases = {event["ph"] for event in events}
+        assert "M" in phases  # track name metadata
+        assert "X" in phases  # slices
+        # every event names a process and sits on a track
+        assert all("pid" in event for event in events)
+        names = [event["args"]["name"] for event in events
+                 if event["name"] == "thread_name"]
+        assert "MD3" in names
+        # MD3-mediated transfers carry flow arrows
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes)
+        if starts:
+            assert all(e["tid"] == MD3_TRACK for e in finishes)
+
+
+class TestValidateTraceRecord:
+    def test_valid_record(self):
+        assert validate_trace_record(
+            {"seq": 0, "t": 1, "kind": "access", "node": 0}) is None
+
+    def test_missing_required_field(self):
+        assert "seq" in validate_trace_record({"t": 1, "kind": "x"})
+
+    def test_wrong_type(self):
+        assert "kind" in validate_trace_record(
+            {"seq": 0, "t": 0, "kind": 3})
+
+    def test_bool_is_not_an_int(self):
+        assert "node" in validate_trace_record(
+            {"seq": 0, "t": 0, "kind": "x", "node": True})
+
+    def test_unknown_field(self):
+        assert "bogus" in validate_trace_record(
+            {"seq": 0, "t": 0, "kind": "x", "bogus": 1})
+
+    def test_negative_seq(self):
+        assert validate_trace_record(
+            {"seq": -1, "t": 0, "kind": "x"}) is not None
+
+    def test_non_object(self):
+        assert validate_trace_record([1, 2]) is not None

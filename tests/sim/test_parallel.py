@@ -26,6 +26,18 @@ def _explode_on_lu(spec):
     return spec.workload
 
 
+def _chatty(spec):
+    print(f"stdout from {spec.workload}")
+    import sys
+    print(f"stderr from {spec.workload}", file=sys.stderr)
+    return spec.workload
+
+
+def _chatty_explode(spec):
+    print(f"partial output from {spec.workload}")
+    raise ValueError("boom")
+
+
 class TestJobCount:
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "7")
@@ -95,6 +107,46 @@ class TestParallelPath:
                                          jobs=2)
         assert results == {}
         assert sorted(f.workload for f in failures) == ["lu", "water"]
+
+
+class TestWorkerOutputCapture:
+    def test_output_replayed_as_contiguous_blocks(self, capfd):
+        results, failures = execute_runs(_specs("water", "lu", "fft"),
+                                         _chatty, jobs=2)
+        assert failures == []
+        assert len(results) == 3
+        err = capfd.readouterr().err
+        # each run's stdout+stderr arrives as one labelled block, never
+        # interleaved with another run's lines
+        for workload in ("water", "lu", "fft"):
+            block = (f"-- output from {workload} on Base-2L (seed 3) --\n"
+                     f"stdout from {workload}\nstderr from {workload}")
+            assert block in err
+
+    def test_on_output_callback_overrides_default(self, capfd):
+        captured = {}
+        execute_runs(_specs("water", "lu"), _chatty, jobs=2,
+                     on_output=lambda index, text: captured.update(
+                         {index: text}))
+        assert set(captured) == {0, 1}
+        assert "stdout from water" in captured[0]
+        assert capfd.readouterr().err == ""  # default printer suppressed
+
+    def test_failed_run_output_still_surfaces(self, capfd):
+        results, failures = execute_runs(_specs("water", "lu"),
+                                         _chatty_explode, jobs=2)
+        assert results == {}
+        assert len(failures) == 2
+        assert all("ValueError: boom" in f.error for f in failures)
+        err = capfd.readouterr().err
+        assert "partial output from water" in err
+        assert "partial output from lu" in err
+
+    def test_serial_path_does_not_capture(self, capfd):
+        execute_runs(_specs("water"), _chatty, jobs=1)
+        out = capfd.readouterr()
+        assert "stdout from water" in out.out  # passes straight through
+        assert "-- output from" not in out.err
 
 
 class TestFailureSummary:

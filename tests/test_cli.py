@@ -1,5 +1,9 @@
 """Tests for the command-line interface."""
 
+import json
+
+import pytest
+
 from repro.cli import ARTIFACTS, main
 
 
@@ -82,6 +86,106 @@ class TestSweep:
                      "--sanitize", "--sanitize-every", "300",
                      "--check-invariants"]) == 0
         assert "matrix ready" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_help_epilog_carries_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "repro version" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_quick_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--quick", "--out", str(out)]) == 0
+        assert "events recorded" in capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert records
+        assert all({"seq", "t", "kind"} <= set(r) for r in records)
+
+    def test_trace_chrome_format(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--quick", "--format", "chrome",
+                     "--workload", "water", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_window_bounds_export(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--quick", "--window", "50",
+                     "--out", str(out)]) == 0
+        assert len(out.read_text().splitlines()) == 50
+
+    def test_trace_baseline_warns_empty(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--quick", "--config", "base-2l",
+                     "--out", str(out)]) == 0
+        assert "no protocol tracer hooks" in capsys.readouterr().err
+        assert out.read_text() == ""
+
+    def test_trace_unknown_config(self, tmp_path):
+        assert main(["trace", "--config", "nope"]) == 2
+
+
+class TestReportHist:
+    def test_missing_record_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["report", "--hist", "--workload", "water",
+                     "--instructions", "1200"]) == 2
+        assert "no cached run record" in capsys.readouterr().err
+
+    def test_hist_after_sweep(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--workloads", "water",
+                     "--instructions", "1200", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--hist", "--workload", "water",
+                     "--instructions", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry histograms: water on D2M-NS-R" in out
+        assert "latency.L1" in out
+        assert "p99" in out
+
+    def test_report_without_artifact_or_hist(self, capsys):
+        assert main(["report"]) == 2
+        assert "artifact" in capsys.readouterr().err
+
+
+class TestRunHist:
+    def test_run_hist_prints_digests(self, capsys):
+        assert main(["run", "--config", "d2m-ns-r", "--workload", "water",
+                     "--instructions", "1500", "--hist"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry histograms" in out
+        assert "mshr.residency" in out
+
+
+class TestLogJson:
+    def test_log_json_writes_cli_events(self, tmp_path, capsys):
+        from repro.obs import runlog
+
+        log = tmp_path / "run.log"
+        try:
+            assert main(["--log-json", str(log), "run",
+                         "--config", "base-2l", "--workload", "water",
+                         "--instructions", "1500"]) == 0
+        finally:
+            runlog.configure("")  # drop the global logger for later tests
+        events = [json.loads(line)["event"]
+                  for line in log.read_text().splitlines()]
+        assert events[0] == "cli.start"
+        assert "run.start" in events
+        assert "run.end" in events
+        assert events[-1] == "cli.end"
 
 
 class TestRunCheckingFlags:

@@ -22,6 +22,11 @@ Accepted key expressions:
 Usage::
 
     python -m tools.lint_repro [paths...]   # default: src/repro
+    python -m tools.lint_repro --trace-schema trace.jsonl [...]
+
+``--trace-schema`` switches to validating JSONL trace exports (from
+``repro trace --format jsonl``) against the schema in
+:data:`repro.obs.trace.TRACE_FIELDS` — CI runs it on the smoke trace.
 
 Exit status 1 when any violation is found.
 """
@@ -159,7 +164,55 @@ def lint_paths(paths: List[Path]) -> List[str]:
     return problems
 
 
+def check_trace_schema(paths: List[Path]) -> List[str]:
+    """Validate JSONL trace files; returns formatted violations."""
+    import json
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.trace import validate_trace_record
+
+    problems: List[str] = []
+    for path in paths:
+        count = 0
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            count += 1
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            error = validate_trace_record(record)
+            if error:
+                problems.append(f"{path}:{lineno}: {error}")
+        if count == 0:
+            problems.append(f"{path}: empty trace (no records)")
+    return problems
+
+
 def main(argv: List[str]) -> int:
+    if argv and argv[0] == "--trace-schema":
+        trace_paths = [Path(arg) for arg in argv[1:]]
+        if not trace_paths:
+            print("lint_repro: --trace-schema needs at least one "
+                  "trace.jsonl path", file=sys.stderr)
+            return 2
+        problems = check_trace_schema(trace_paths)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"lint_repro: {len(trace_paths)} trace file(s) schema-valid")
+        return 0
     paths = [Path(arg) for arg in argv] if argv else DEFAULT_PATHS
     missing = [p for p in paths if not p.exists()]
     if missing:
