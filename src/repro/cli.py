@@ -11,6 +11,11 @@ Commands:
   JSONL or Chrome ``trace_event`` JSON (Perfetto-viewable).
 * ``bench`` — time the simulator itself over a pinned matrix and emit
   a ``BENCH_<date>.json`` perf-tracking report.
+* ``compare`` — diff two bench reports, run records, or sweep matrices
+  (the regression sentinel: exit 3 beyond threshold; ``--baseline auto``
+  resolves the newest committed ``BENCH_*.json``).
+* ``dashboard`` — render the sweep matrix, histogram digests, and
+  comparison views into one self-contained static HTML file.
 
 ``repro --log-json FILE`` (or ``REPRO_LOG=FILE``) adds structured JSONL
 run logging to any command; ``-`` logs to stderr.
@@ -273,7 +278,161 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.bench import main as bench_main
 
     return bench_main(quick=args.quick, out=args.out,
-                      check_equivalence=not args.no_equivalence)
+                      check_equivalence=not args.no_equivalence,
+                      baseline=args.baseline)
+
+
+def _parse_workloads_arg(raw: str) -> Optional[list]:
+    """Validated comma-separated workload subset (None = all)."""
+    if not raw:
+        return None
+    workloads = [w.strip() for w in raw.split(",") if w.strip()]
+    for name in workloads:
+        get_spec(name)  # KeyError on typos, caught by callers
+    return workloads or None
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """The regression sentinel: diff a candidate against a baseline."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.report import comparison_table
+    from repro.obs import compare as cmp
+
+    thresholds = cmp.thresholds_from_percent(args.ips_threshold,
+                                             args.metric_threshold)
+    if args.candidate:
+        cand_path = Path(args.candidate)
+    else:
+        found = cmp.newest_bench_path()
+        if found is None:
+            print("compare: no candidate given and no BENCH_*.json in the "
+                  "current directory", file=sys.stderr)
+            return 2
+        cand_path = found
+    try:
+        candidate = cmp.load_payload(cand_path)
+    except cmp.CompareError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+
+    if args.baseline == "auto":
+        resolved = cmp.resolve_auto_baseline()
+        if resolved is None:
+            print("compare: --baseline auto found no committed (or on-disk) "
+                  "BENCH_*.json", file=sys.stderr)
+            return 2
+        base_label, baseline = resolved
+    else:
+        base_path = Path(args.baseline)
+        try:
+            baseline = cmp.load_payload(base_path)
+        except cmp.CompareError as exc:
+            print(f"compare: {exc}", file=sys.stderr)
+            return 2
+        base_label = str(base_path)
+
+    try:
+        report = cmp.compare_payloads(baseline, candidate, thresholds,
+                                      baseline_label=base_label,
+                                      candidate_label=str(cand_path))
+    except cmp.CompareError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+
+    # Bench comparisons print the full per-cell table; record/matrix
+    # comparisons only the deltas that cleared a threshold.
+    include_ok = report.kind == "bench"
+    print(comparison_table(report, include_ok=include_ok,
+                           limit=0 if include_ok else 60))
+    for note in report.notes:
+        print(f"note: {note}")
+    print(report.summary_line())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"report JSON -> {args.json_out}")
+    return report.exit_code()
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the static HTML observability dashboard."""
+    from repro.experiments.runner import SweepError, get_matrix
+    from repro.obs import compare as cmp
+    from repro.obs.render import render_dashboard
+
+    focus_config = _resolve_config(args.config)
+    against = _resolve_config(args.against)
+    if focus_config is None or against is None:
+        return 2
+    try:
+        workloads = _parse_workloads_arg(args.workloads)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        matrix = get_matrix(workloads=workloads,
+                            instructions=args.instructions, seed=args.seed,
+                            jobs=args.jobs or None)
+    except SweepError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if not matrix:
+        print("empty sweep: no workloads selected", file=sys.stderr)
+        return 2
+
+    focus_wl = args.workload or sorted(matrix)[0]
+    if focus_wl not in matrix:
+        print(f"focus workload {focus_wl!r} is not in the sweep "
+              f"({sorted(matrix)})", file=sys.stderr)
+        return 2
+
+    comparisons = []
+    row = matrix[focus_wl]
+    base_rec = row.get(against.name)
+    cand_rec = row.get(focus_config.name)
+    if base_rec is not None and cand_rec is not None \
+            and against.name != focus_config.name:
+        side_by_side = cmp.compare_records(
+            base_rec, cand_rec, informational=True,
+            baseline_label=f"{focus_wl} on {against.name}",
+            candidate_label=f"{focus_wl} on {focus_config.name}")
+        comparisons.append((f"Side by side: {against.name} vs "
+                            f"{focus_config.name} ({focus_wl})",
+                            side_by_side))
+    if args.bench:
+        from pathlib import Path
+
+        bench_path = (cmp.newest_bench_path() if args.bench == "auto"
+                      else Path(args.bench))
+        resolved = cmp.resolve_auto_baseline()
+        if bench_path is not None and resolved is not None:
+            base_label, bench_baseline = resolved
+            try:
+                bench_candidate = cmp.load_payload(bench_path)
+            except cmp.CompareError as exc:
+                print(f"dashboard: --bench: {exc}", file=sys.stderr)
+                return 2
+            comparisons.append((
+                "Bench vs committed baseline",
+                cmp.compare_bench(bench_baseline, bench_candidate,  # type: ignore[arg-type]
+                                  baseline_label=base_label,
+                                  candidate_label=str(bench_path))))
+        else:
+            print("dashboard: --bench: no bench report/baseline found; "
+                  "section skipped", file=sys.stderr)
+
+    html = render_dashboard(matrix, focus=(focus_wl, focus_config.name),
+                            comparisons=comparisons,
+                            baseline_config=against.name,
+                            subtitle=f"seed {args.seed}, instruction budget "
+                                     f"{args.instructions or 'default'}")
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"dashboard: {len(matrix)} workload(s) x {len(row)} system(s), "
+          f"{len(comparisons)} comparison view(s) -> {args.out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -365,6 +524,54 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--no-equivalence", action="store_true",
                          help="skip the optimized-vs-reference stats "
                               "equivalence gate (timing only)")
+    bench_p.add_argument("--baseline", default="", metavar="FILE|auto",
+                         help="after benching, diff the fresh report "
+                              "against this baseline (exit 3 on "
+                              "regression)")
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="diff a candidate bench report / run record / sweep matrix "
+             "against a baseline (exit 3 on regression)")
+    compare_p.add_argument("candidate", nargs="?", default="",
+                           help="candidate payload: a BENCH_*.json, a run "
+                                "record JSON, or a run-record directory "
+                                "(default: newest BENCH_*.json here)")
+    compare_p.add_argument("--baseline", default="auto", metavar="FILE|auto",
+                           help="baseline payload; 'auto' = newest "
+                                "committed BENCH_*.json (content at HEAD)")
+    compare_p.add_argument("--ips-threshold", type=float, default=10.0,
+                           metavar="PCT",
+                           help="bench ips drop that regresses "
+                                "(default 10%%; warns at half)")
+    compare_p.add_argument("--metric-threshold", type=float, default=20.0,
+                           metavar="PCT",
+                           help="scalar-metric drift that regresses "
+                                "(default 20%%; warns at a quarter)")
+    compare_p.add_argument("--json-out", default="", metavar="PATH",
+                           help="also write the full ComparisonReport JSON")
+
+    dash_p = sub.add_parser(
+        "dashboard",
+        help="render sweep + telemetry + comparisons into static HTML")
+    dash_p.add_argument("--out", default="dash.html",
+                        help="output HTML path (default dash.html)")
+    dash_p.add_argument("--workloads", default="",
+                        help="comma-separated sweep subset (default: all)")
+    dash_p.add_argument("--workload", default="",
+                        help="focus cell workload (default: first in sweep)")
+    dash_p.add_argument("--config", default="d2m-ns-r",
+                        help="focus cell system (histogram panels)")
+    dash_p.add_argument("--against", default="base-2l",
+                        help="comparison baseline system (heatmap + side "
+                             "by side)")
+    dash_p.add_argument("--instructions", type=int, default=0)
+    dash_p.add_argument("--seed", type=int, default=1)
+    dash_p.add_argument("--jobs", type=int, default=0,
+                        help="parallel sweep workers (0 = REPRO_JOBS/CPUs)")
+    dash_p.add_argument("--bench", default="", metavar="FILE|auto",
+                        help="also include a bench-vs-committed-baseline "
+                             "comparison section")
 
     return parser
 
@@ -390,6 +597,8 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "compare": _cmd_compare,
+    "dashboard": _cmd_dashboard,
 }
 
 

@@ -12,6 +12,36 @@ from typing import Dict
 
 from repro.common.types import HitLevel
 
+#: every scalar metric field of :class:`RunRecord`, in declaration order —
+#: the flat-diffable surface consumed by ``repro.obs.compare`` (events and
+#: histogram digests are structured and diffed separately).
+SCALAR_METRICS = (
+    "msgs_per_ki",
+    "d2m_msgs_per_ki",
+    "bytes_per_ki",
+    "l1i_miss",
+    "l1d_miss",
+    "l1i_late",
+    "l1d_late",
+    "l2_hit_ratio_i",
+    "l2_hit_ratio_d",
+    "ns_hit_i",
+    "ns_hit_d",
+    "invalidations",
+    "private_miss_fraction",
+    "cycles",
+    "cache_energy_pj",
+    "edp",
+    "edp_d2m_share",
+    "avg_miss_latency",
+    "memory_ops",
+    "md1_hits",
+    "md2_hits",
+    "md_misses",
+    "mem_reads_redirected",
+    "direct_ns_fraction",
+)
+
 
 @dataclass
 class RunRecord:
@@ -69,6 +99,10 @@ class RunRecord:
 
     def to_json(self) -> dict:
         return asdict(self)
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """The flat ``{name: value}`` view diffed by ``repro compare``."""
+        return {name: float(getattr(self, name)) for name in SCALAR_METRICS}
 
     @staticmethod
     def from_json(data: dict) -> "RunRecord":

@@ -100,6 +100,43 @@ def hist_table(hists: Dict[str, Dict[str, float]],
                          "max"], rows, title=title)
 
 
+def comparison_table(report, include_ok: bool = False,
+                     limit: int = 0) -> str:
+    """Render a ``repro.obs.compare`` :class:`ComparisonReport` as text.
+
+    By default only deltas classified beyond ``ok`` are shown (the diff
+    view); ``include_ok=True`` prints every compared quantity (the
+    per-cell table ``repro compare`` shows for bench reports).
+    """
+    from repro.obs.compare import NOTE, OK, REGRESSION, WARN
+
+    order = {REGRESSION: 0, WARN: 1, NOTE: 2, OK: 3}
+    shown = [d for d in report.deltas if include_ok or d.severity != OK]
+    shown.sort(key=lambda d: (order[d.severity], d.key))
+    hidden = len(shown) - limit if limit else 0
+    if limit:
+        shown = shown[:limit]
+    rows = []
+    for delta in shown:
+        rel = delta.rel_delta
+        rows.append([
+            delta.key,
+            "-" if delta.baseline is None else f"{delta.baseline:,.4g}",
+            "-" if delta.candidate is None else f"{delta.candidate:,.4g}",
+            "-" if rel is None else f"{rel:+.1%}",
+            delta.severity.upper() if delta.severity != OK else "ok",
+            delta.note,
+        ])
+    if not rows:
+        rows.append(["(no deltas beyond thresholds)", "", "", "", "", ""])
+    title = f"Comparison: {report.baseline_label} -> {report.candidate_label}"
+    table = render_table(["quantity", "baseline", "candidate", "delta",
+                          "severity", "why"], rows, title=title)
+    if hidden > 0:
+        table += f"\n... and {hidden} more (truncated)"
+    return table
+
+
 def full_report(config: SystemConfig, workload: str,
                 instructions: int = 0, seed: int = 1) -> RunOutcome:
     outcome = run_workload(config, workload, instructions, seed)

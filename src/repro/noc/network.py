@@ -92,10 +92,17 @@ class Network:
         keeps, so telemetry pays nothing per message.  Zero-hop sends
         never enter ``_counts`` (they are not network traffic), so the
         distribution covers actual on-network messages only.
+
+        A run with no network traffic at all returns an *empty*
+        histogram whose ``summary()`` is the empty digest
+        ``{"count": 0.0}`` — never degenerate zero mean/percentile
+        values that a comparison would read as a real distribution.
         """
         from repro.obs.histogram import Histogram
 
         hist = Histogram("noc.hops", unit="hops")
+        if not self._counts:
+            return hist
         for (_kind, hops), n in self._counts.items():
             hist.record_many(hops, n)
         return hist

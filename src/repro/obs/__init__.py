@@ -14,25 +14,35 @@ pay-for-what-you-use — a run that asks for none of them only pays a
   latency, residency, hop-count, occupancy, and region-dwell histograms
   whose percentile digests land in run records (``repro report --hist``);
 * :mod:`repro.obs.progress` — worker heartbeats and the live sweep
-  progress line plus machine-readable ``progress.jsonl``.
+  progress line plus machine-readable ``progress.jsonl``;
+* :mod:`repro.obs.compare` / :mod:`repro.obs.render` — the consumption
+  half: structural diffing of runs/benches/matrices into severity-
+  classified reports (``repro compare``, exit 3 on regression) and the
+  zero-dependency static HTML dashboard (``repro dashboard``).
 
 See docs/OBSERVABILITY.md for schemas and overhead numbers.
 """
 
+from repro.obs.compare import ComparisonReport, Delta, Thresholds
 from repro.obs.histogram import Histogram, HistogramSet
 from repro.obs.progress import Heartbeat, SweepProgress
+from repro.obs.render import render_dashboard
 from repro.obs.runlog import RunLogger
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import TraceRecorder, TracerFanout, attach_tracer
 
 __all__ = [
+    "ComparisonReport",
+    "Delta",
     "Heartbeat",
     "Histogram",
     "HistogramSet",
     "RunLogger",
     "SweepProgress",
     "Telemetry",
+    "Thresholds",
     "TraceRecorder",
     "TracerFanout",
     "attach_tracer",
+    "render_dashboard",
 ]

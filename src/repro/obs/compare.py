@@ -1,0 +1,590 @@
+"""Differential observability: diff two runs, benches, or sweep matrices.
+
+PR 4 made every run *emit* telemetry (histogram digests in format-v7
+records, ``BENCH_*.json`` perf reports); this module *consumes* it.  It
+structurally diffs two comparable payloads —
+
+* two ``BENCH_*.json`` reports (per-cell instructions/second, per-phase
+  wall splits, the optimized-vs-reference equivalence flags),
+* two run records (every scalar paper metric plus per-percentile
+  histogram-digest drift), or
+* two sweep matrices (``{workload: {config: record}}``, e.g. two
+  ``.repro_cache/runs`` directories),
+
+— into a severity-classified :class:`ComparisonReport`.  Severities
+order ``ok < note < warn < regression``; only ``regression`` gates (the
+CLI's ``repro compare`` exits 3, see :meth:`ComparisonReport.exit_code`).
+
+Classification is threshold-driven (:class:`Thresholds`): relative
+instructions/second drops, relative scalar-metric drift with an absolute
+floor, and ratio-based percentile drift for the log2 histogram digests
+(whose buckets quantize at ~2x, so one-bucket noise stays sub-warning).
+
+Two comparisons are deliberately *informational only*:
+
+* bench reports of different modes (``--quick`` vs full) or pinned
+  matrices — their ips values are not comparable, so throughput deltas
+  are capped at ``note`` and only the intra-run equivalence gate can
+  still regress (this is what CI's ``bench-compare`` job relies on);
+* ``informational=True`` record comparisons (the dashboard's
+  side-by-side config views), where the two cells are *supposed* to
+  differ.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: severity levels, weakest to strongest; only REGRESSION gates exit codes
+OK = "ok"
+NOTE = "note"
+WARN = "warn"
+REGRESSION = "regression"
+
+_SEVERITY_ORDER = {OK: 0, NOTE: 1, WARN: 2, REGRESSION: 3}
+
+#: digest fields whose drift is compared per histogram
+_DIGEST_DRIFT_FIELDS = ("p50", "p90", "p99", "mean")
+
+#: the exit status `repro compare` returns on regression
+REGRESSION_EXIT = 3
+
+
+class CompareError(ValueError):
+    """The two payloads cannot be compared (unknown or mismatched kinds)."""
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Regression-classification knobs (relative unless stated).
+
+    ``ips_*`` apply to bench throughput drops, ``metric_*`` to run-record
+    scalar drift (both directions — a reproduction shifting *either* way
+    is drift), ``hist_*`` to symmetric percentile-ratio drift of the log2
+    digests (``max/min - 1``; one bucket is ~1.0).  ``abs_floor`` is the
+    absolute delta below which a change is never classified at all.
+    """
+
+    ips_fail: float = 0.10
+    ips_warn: float = 0.05
+    metric_fail: float = 0.20
+    metric_warn: float = 0.05
+    hist_fail: float = 3.0
+    hist_warn: float = 1.5
+    abs_floor: float = 1e-9
+
+
+@dataclass
+class Delta:
+    """One compared quantity: baseline vs candidate plus its severity."""
+
+    key: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    severity: str = OK
+    note: str = ""
+
+    @property
+    def abs_delta(self) -> Optional[float]:
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        """(candidate - baseline) / |baseline|; None when undefined."""
+        if self.baseline is None or self.candidate is None:
+            return None
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else None
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "severity": self.severity,
+            "note": self.note,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """Every delta of one comparison, plus free-form context notes."""
+
+    kind: str
+    baseline_label: str = "baseline"
+    candidate_label: str = "candidate"
+    deltas: List[Delta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, delta: Delta) -> None:
+        self.deltas.append(delta)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    @property
+    def worst(self) -> str:
+        severity = OK
+        for delta in self.deltas:
+            if _SEVERITY_ORDER[delta.severity] > _SEVERITY_ORDER[severity]:
+                severity = delta.severity
+        return severity
+
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.severity == REGRESSION]
+
+    def counts(self) -> Dict[str, int]:
+        out = {OK: 0, NOTE: 0, WARN: 0, REGRESSION: 0}
+        for delta in self.deltas:
+            out[delta.severity] += 1
+        return out
+
+    def exit_code(self) -> int:
+        """0 when clean, :data:`REGRESSION_EXIT` on any regression."""
+        return REGRESSION_EXIT if self.regressions() else 0
+
+    def summary_line(self) -> str:
+        counts = self.counts()
+        parts = [f"{n} {severity}" for severity, n in counts.items() if n]
+        body = ", ".join(parts) if parts else "nothing compared"
+        verdict = "REGRESSION" if counts[REGRESSION] else "OK"
+        return (f"compare [{self.kind}] {self.baseline_label} -> "
+                f"{self.candidate_label}: {verdict} ({body})")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "baseline": self.baseline_label,
+            "candidate": self.candidate_label,
+            "worst": self.worst,
+            "counts": self.counts(),
+            "notes": list(self.notes),
+            "deltas": [d.to_json() for d in self.deltas],
+        }
+
+
+def _cap(severity: str, cap: str) -> str:
+    if _SEVERITY_ORDER[severity] > _SEVERITY_ORDER[cap]:
+        return cap
+    return severity
+
+
+# --------------------------------------------------------------- bench diffs
+
+
+def _cells_by_name(report: Mapping[str, object]) -> Dict[str, Mapping]:
+    cells = report.get("cells", [])
+    out: Dict[str, Mapping] = {}
+    if isinstance(cells, list):
+        for cell in cells:
+            if isinstance(cell, Mapping):
+                out[f"{cell.get('config')}/{cell.get('workload')}"] = cell
+    return out
+
+
+def _ips_severity(baseline: float, candidate: float,
+                  thresholds: Thresholds) -> Tuple[str, str]:
+    if baseline <= 0:
+        return (WARN, "baseline ips is zero") if candidate else (OK, "")
+    rel = (candidate - baseline) / baseline
+    drop = -rel
+    if drop >= thresholds.ips_fail:
+        return REGRESSION, f"ips dropped {drop:.1%}"
+    if drop >= thresholds.ips_warn:
+        return WARN, f"ips dropped {drop:.1%}"
+    if rel >= thresholds.ips_warn:
+        return NOTE, f"ips improved {rel:.1%}"
+    return OK, ""
+
+
+def compare_bench(baseline: Mapping[str, object],
+                  candidate: Mapping[str, object],
+                  thresholds: Thresholds = Thresholds(),
+                  baseline_label: str = "baseline",
+                  candidate_label: str = "candidate") -> ComparisonReport:
+    """Diff two ``BENCH_*.json`` reports cell by cell.
+
+    Throughput deltas gate only when the two reports ran the same mode
+    and pinned matrix; otherwise they are capped at ``note`` (different
+    budgets skew ips) and only equivalence failures can regress.
+    """
+    report = ComparisonReport("bench", baseline_label, candidate_label)
+    comparable = True
+    if baseline.get("mode") != candidate.get("mode"):
+        comparable = False
+        report.note(f"mode mismatch ({baseline.get('mode')} vs "
+                    f"{candidate.get('mode')}): ips deltas are "
+                    "informational only")
+    if baseline.get("matrix") != candidate.get("matrix"):
+        comparable = False
+        report.note("pinned-matrix mismatch: ips deltas are informational "
+                    "only")
+    cap = REGRESSION if comparable else NOTE
+
+    base_cells = _cells_by_name(baseline)
+    cand_cells = _cells_by_name(candidate)
+    for name in list(base_cells) + [n for n in cand_cells
+                                    if n not in base_cells]:
+        base = base_cells.get(name)
+        cand = cand_cells.get(name)
+        if base is None or cand is None:
+            side = "candidate" if base is None else "baseline"
+            report.add(Delta(
+                f"ips.{name}",
+                None if base is None else float(base.get("ips", 0.0)),  # type: ignore[arg-type]
+                None if cand is None else float(cand.get("ips", 0.0)),  # type: ignore[arg-type]
+                WARN, f"cell only in {side}"))
+            continue
+        base_ips = float(base.get("ips", 0.0))  # type: ignore[arg-type]
+        cand_ips = float(cand.get("ips", 0.0))  # type: ignore[arg-type]
+        severity, why = _ips_severity(base_ips, cand_ips, thresholds)
+        report.add(Delta(f"ips.{name}", base_ips, cand_ips,
+                         _cap(severity, cap), why))
+        base_phases = base.get("phases_s", {})
+        cand_phases = cand.get("phases_s", {})
+        if isinstance(base_phases, Mapping) and isinstance(cand_phases,
+                                                           Mapping):
+            for phase in ("generate", "hierarchy", "stats"):
+                b = float(base_phases.get(phase, 0.0))  # type: ignore[arg-type]
+                c = float(cand_phases.get(phase, 0.0))  # type: ignore[arg-type]
+                if b > 0 and abs(c - b) / b >= 0.25:
+                    report.add(Delta(f"phase.{phase}.{name}", b, c, NOTE,
+                                     "phase wall-time shifted"))
+        # The equivalence gate is intra-run (optimized driver vs the
+        # reference generator on the *same* machine), so a broken flag
+        # regresses even across modes.
+        if cand.get("equivalent") is False:
+            report.add(Delta(f"equivalence.{name}", 1.0, 0.0, REGRESSION,
+                             "optimized driver diverged from the reference "
+                             "generator"))
+    base_geo = float(baseline.get("geomean_ips", 0.0))  # type: ignore[arg-type]
+    cand_geo = float(candidate.get("geomean_ips", 0.0))  # type: ignore[arg-type]
+    severity, why = _ips_severity(base_geo, cand_geo, thresholds)
+    report.add(Delta("geomean_ips", base_geo, cand_geo, _cap(severity, cap),
+                     why))
+    if candidate.get("equivalence_checked") and not candidate.get(
+            "equivalence_ok", True):
+        report.add(Delta("equivalence_ok", 1.0, 0.0, REGRESSION,
+                         "candidate bench failed its equivalence gate"))
+    return report
+
+
+# -------------------------------------------------------------- record diffs
+
+
+def _metric_severity(base: float, cand: float,
+                     thresholds: Thresholds) -> Tuple[str, str]:
+    delta = cand - base
+    if abs(delta) <= thresholds.abs_floor:
+        return OK, ""
+    if base == 0:
+        return WARN, "metric appeared (baseline is zero)"
+    rel = abs(delta) / abs(base)
+    if rel >= thresholds.metric_fail:
+        return REGRESSION, f"drifted {delta / abs(base):+.1%}"
+    if rel >= thresholds.metric_warn:
+        return WARN, f"drifted {delta / abs(base):+.1%}"
+    return OK, ""
+
+
+def _drift_ratio(base: float, cand: float) -> Optional[float]:
+    """Symmetric ratio drift ``max/min - 1``; None when one side is 0."""
+    if base == cand:
+        return 0.0
+    if base <= 0 or cand <= 0:
+        return None
+    lo, hi = sorted((base, cand))
+    return hi / lo - 1.0
+
+
+def compare_hist_digests(baseline: Mapping[str, Mapping[str, float]],
+                         candidate: Mapping[str, Mapping[str, float]],
+                         thresholds: Thresholds = Thresholds(),
+                         cap: str = REGRESSION) -> List[Delta]:
+    """Per-percentile drift deltas between two digest maps.
+
+    Digest values come from log2 buckets, so drift is measured as a
+    symmetric ratio (one bucket of quantization noise is ~1.0) and the
+    default thresholds only trip on multi-bucket shifts.
+    """
+    deltas: List[Delta] = []
+    for name in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(name)
+        cand = candidate.get(name)
+        if base is None or cand is None:
+            side = "candidate" if base is None else "baseline"
+            present = cand if base is None else base
+            count = float(present.get("count", 0.0)) if present else 0.0
+            deltas.append(Delta(
+                f"hist.{name}.count",
+                None if base is None else count,
+                None if cand is None else count,
+                _cap(WARN, cap), f"histogram only in {side}"))
+            continue
+        base_count = float(base.get("count", 0.0))
+        cand_count = float(cand.get("count", 0.0))
+        if base_count != cand_count:
+            severity, why = _metric_severity(base_count, cand_count,
+                                             thresholds)
+            deltas.append(Delta(f"hist.{name}.count", base_count, cand_count,
+                                _cap(_cap(severity, WARN), cap), why))
+        for fieldname in _DIGEST_DRIFT_FIELDS:
+            b = float(base.get(fieldname, 0.0))
+            c = float(cand.get(fieldname, 0.0))
+            if b == c:
+                continue
+            drift = _drift_ratio(b, c)
+            if drift is None:
+                severity = WARN
+                why = "percentile collapsed to/from zero"
+            elif drift >= thresholds.hist_fail:
+                severity, why = REGRESSION, f"drifted {drift:.1f}x buckets"
+            elif drift >= thresholds.hist_warn:
+                severity, why = WARN, f"drifted {drift:.1f}x buckets"
+            else:
+                severity, why = OK, ""
+            deltas.append(Delta(f"hist.{name}.{fieldname}", b, c,
+                                _cap(severity, cap), why))
+    return deltas
+
+
+def _as_record_dict(record: object) -> Dict[str, object]:
+    if hasattr(record, "to_json"):
+        return record.to_json()  # type: ignore[attr-defined, no-any-return]
+    if isinstance(record, Mapping):
+        return dict(record)
+    raise CompareError(f"not a run record: {type(record).__name__}")
+
+
+def compare_records(baseline: object, candidate: object,
+                    thresholds: Thresholds = Thresholds(),
+                    informational: bool = False,
+                    baseline_label: str = "baseline",
+                    candidate_label: str = "candidate",
+                    key_prefix: str = "") -> ComparisonReport:
+    """Diff two run records: scalar paper metrics + histogram digests.
+
+    ``informational=True`` caps every severity at ``note`` — for
+    side-by-side views of cells that are *expected* to differ (e.g. the
+    dashboard's Base-2L vs D2M-NS-R comparison).
+    """
+    from repro.experiments.records import SCALAR_METRICS
+
+    base = _as_record_dict(baseline)
+    cand = _as_record_dict(candidate)
+    report = ComparisonReport("record", baseline_label, candidate_label)
+    cap = NOTE if informational else REGRESSION
+    base_cell = (base.get("workload"), base.get("config"))
+    cand_cell = (cand.get("workload"), cand.get("config"))
+    if base_cell != cand_cell:
+        report.note(f"comparing different cells: {base_cell[0]} on "
+                    f"{base_cell[1]} vs {cand_cell[0]} on {cand_cell[1]}")
+    if base.get("instructions") != cand.get("instructions"):
+        report.note(f"instruction budgets differ "
+                    f"({base.get('instructions')} vs "
+                    f"{cand.get('instructions')}); count-like metrics will "
+                    "drift")
+    for name in SCALAR_METRICS:
+        b = float(base.get(name, 0.0))  # type: ignore[arg-type]
+        c = float(cand.get(name, 0.0))  # type: ignore[arg-type]
+        severity, why = _metric_severity(b, c, thresholds)
+        report.add(Delta(key_prefix + name, b, c, _cap(severity, cap), why))
+    base_events = base.get("events", {})
+    cand_events = cand.get("events", {})
+    if isinstance(base_events, Mapping) and isinstance(cand_events, Mapping):
+        for name in sorted(set(base_events) | set(cand_events)):
+            b = float(base_events.get(name, 0.0))  # type: ignore[arg-type]
+            c = float(cand_events.get(name, 0.0))  # type: ignore[arg-type]
+            severity, why = _metric_severity(b, c, thresholds)
+            # Protocol event counters are forensic detail, not gating
+            # paper metrics: cap at warn.
+            report.add(Delta(f"{key_prefix}events.{name}", b, c,
+                             _cap(_cap(severity, WARN), cap), why))
+    base_hists = base.get("hists", {})
+    cand_hists = cand.get("hists", {})
+    if isinstance(base_hists, Mapping) and isinstance(cand_hists, Mapping):
+        for delta in compare_hist_digests(base_hists, cand_hists, thresholds,
+                                          cap=cap):
+            delta.key = key_prefix + delta.key
+            report.add(delta)
+    return report
+
+
+def compare_matrices(baseline: Mapping[str, Mapping[str, object]],
+                     candidate: Mapping[str, Mapping[str, object]],
+                     thresholds: Thresholds = Thresholds(),
+                     baseline_label: str = "baseline",
+                     candidate_label: str = "candidate") -> ComparisonReport:
+    """Diff two sweep matrices cell by cell (``matrix[workload][config]``)."""
+    report = ComparisonReport("matrix", baseline_label, candidate_label)
+    base_keys = {(wl, cfg) for wl, row in baseline.items() for cfg in row}
+    cand_keys = {(wl, cfg) for wl, row in candidate.items() for cfg in row}
+    for wl, cfg in sorted(base_keys ^ cand_keys):
+        side = "candidate" if (wl, cfg) not in base_keys else "baseline"
+        report.add(Delta(f"{wl}/{cfg}", None, None, WARN,
+                         f"cell only in {side}"))
+    for wl, cfg in sorted(base_keys & cand_keys):
+        cell = compare_records(baseline[wl][cfg], candidate[wl][cfg],
+                               thresholds, key_prefix=f"{wl}/{cfg}:")
+        report.deltas.extend(cell.deltas)
+        report.notes.extend(f"{wl}/{cfg}: {note}" for note in cell.notes)
+    return report
+
+
+# ------------------------------------------------------------ load & dispatch
+
+
+def kind_of(payload: object) -> str:
+    """``bench`` | ``record`` | ``matrix`` for a parsed payload."""
+    if isinstance(payload, Mapping):
+        if "cells" in payload and "geomean_ips" in payload:
+            return "bench"
+        if {"workload", "config", "instructions"} <= set(payload):
+            return "record"
+        if payload and all(
+                isinstance(row, Mapping)
+                and row and all(isinstance(rec, Mapping)
+                                and "workload" in rec for rec in row.values())
+                for row in payload.values()):
+            return "matrix"
+    raise CompareError("payload is neither a bench report, a run record, "
+                       "nor a sweep matrix")
+
+
+def load_payload(path: Path) -> object:
+    """Parse one comparable payload from a file or a run-record directory.
+
+    A directory (e.g. ``.repro_cache/runs``) loads every ``*.json`` run
+    record inside into a ``{workload: {config: record}}`` matrix.
+    """
+    if path.is_dir():
+        matrix: Dict[str, Dict[str, object]] = {}
+        for child in sorted(path.glob("*.json")):
+            try:
+                record = json.loads(child.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # torn/corrupt entries are cache misses, not errors
+            if isinstance(record, Mapping) and "workload" in record \
+                    and "config" in record:
+                matrix.setdefault(str(record["workload"]), {})[
+                    str(record["config"])] = record
+        if not matrix:
+            raise CompareError(f"{path}: no run records found")
+        return matrix
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise CompareError(f"{path}: unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise CompareError(f"{path}: not JSON: {exc}") from exc
+
+
+def compare_payloads(baseline: object, candidate: object,
+                     thresholds: Thresholds = Thresholds(),
+                     baseline_label: str = "baseline",
+                     candidate_label: str = "candidate") -> ComparisonReport:
+    """Dispatch on payload kind; both sides must be the same kind."""
+    base_kind = kind_of(baseline)
+    cand_kind = kind_of(candidate)
+    if base_kind != cand_kind:
+        raise CompareError(f"cannot compare a {base_kind} against a "
+                           f"{cand_kind}")
+    if base_kind == "bench":
+        return compare_bench(baseline, candidate, thresholds,  # type: ignore[arg-type]
+                             baseline_label, candidate_label)
+    if base_kind == "record":
+        return compare_records(baseline, candidate, thresholds,
+                               baseline_label=baseline_label,
+                               candidate_label=candidate_label)
+    return compare_matrices(baseline, candidate, thresholds,  # type: ignore[arg-type]
+                            baseline_label, candidate_label)
+
+
+# ------------------------------------------------------- baseline resolution
+
+
+def _bench_names(root: Path) -> List[str]:
+    return sorted(p.name for p in root.glob("BENCH_*.json"))
+
+
+def newest_bench_path(root: Optional[Path] = None) -> Optional[Path]:
+    """Newest ``BENCH_*.json`` in ``root`` (dated names sort lexically)."""
+    root = root or Path.cwd()
+    names = _bench_names(root)
+    return root / names[-1] if names else None
+
+
+def _git(root: Path, *args: str) -> Optional[str]:
+    try:
+        proc = subprocess.run(["git", "-C", str(root), *args],
+                              capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return proc.stdout if proc.returncode == 0 else None
+
+
+def resolve_auto_baseline(root: Optional[Path] = None
+                          ) -> Optional[Tuple[str, object]]:
+    """The ``--baseline auto`` payload: newest *committed* ``BENCH_*.json``.
+
+    Reads the file's content at ``HEAD`` (so a locally regenerated bench
+    report still compares against what is committed).  Outside a git
+    checkout — or when git is unavailable — falls back to the newest
+    on-disk ``BENCH_*.json``.  Returns ``(label, payload)`` or None when
+    no bench report exists at all.
+    """
+    root = root or Path.cwd()
+    listed = _git(root, "ls-files", "--", "BENCH_*.json")
+    if listed:
+        names = sorted(name for name in listed.splitlines() if name.strip())
+        if names:
+            name = names[-1]
+            content = _git(root, "show", f"HEAD:{name}")
+            if content:
+                try:
+                    return f"{name}@HEAD", json.loads(content)
+                except ValueError:
+                    pass
+            path = root / name
+            if path.exists():
+                return name, load_payload(path)
+    path = newest_bench_path(root)
+    if path is not None:
+        return path.name, load_payload(path)
+    return None
+
+
+def thresholds_from_percent(ips_fail_pct: float = 10.0,
+                            metric_fail_pct: float = 20.0,
+                            abs_floor: float = 1e-9) -> Thresholds:
+    """CLI-facing constructor: fail thresholds in percent, warn at half."""
+    ips_fail = max(ips_fail_pct, 0.0) / 100.0
+    metric_fail = max(metric_fail_pct, 0.0) / 100.0
+    return Thresholds(ips_fail=ips_fail, ips_warn=ips_fail / 2.0,
+                      metric_fail=metric_fail, metric_warn=metric_fail / 4.0,
+                      abs_floor=abs_floor)
+
+
+def matrix_to_json(matrix: Mapping[str, Mapping[str, object]]
+                   ) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """A live ``get_matrix`` result as a comparable/serializable payload."""
+    return {wl: {cfg: _as_record_dict(record)
+                 for cfg, record in row.items()}
+            for wl, row in matrix.items()}
+
+
+__all__: Sequence[str] = [
+    "OK", "NOTE", "WARN", "REGRESSION", "REGRESSION_EXIT",
+    "CompareError", "ComparisonReport", "Delta", "Thresholds",
+    "compare_bench", "compare_hist_digests", "compare_matrices",
+    "compare_payloads", "compare_records", "kind_of", "load_payload",
+    "matrix_to_json", "newest_bench_path", "resolve_auto_baseline",
+    "thresholds_from_percent",
+]

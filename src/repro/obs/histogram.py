@@ -26,6 +26,9 @@ N_BUCKETS = 64
 #: the percentile summary reported into run records and reports
 SUMMARY_PERCENTILES = (50, 90, 99)
 
+#: every key a non-empty digest carries (an empty digest is just {"count": 0})
+DIGEST_KEYS = ("count", "mean", "max", "p50", "p90", "p99")
+
 
 def bucket_of(value: int) -> int:
     """Bucket index of a value (values beyond 2**63-1 clamp to the top)."""
@@ -124,7 +127,14 @@ class Histogram:
                 yield index, n
 
     def summary(self) -> Dict[str, float]:
-        """The percentile digest run records and reports carry."""
+        """The percentile digest run records and reports carry.
+
+        An empty histogram digests to ``{"count": 0.0}`` — *not* a full
+        digest of zero mean/max/percentiles, which downstream comparison
+        would read as a real distribution sitting at zero.
+        """
+        if not self.count:
+            return {"count": 0.0}
         out: Dict[str, float] = {
             "count": float(self.count),
             "mean": round(self.mean, 3),
@@ -238,3 +248,54 @@ def merge_summaries(summaries: Iterable[Mapping[str, Mapping[str, float]]]
         for name, digest in summary.items():
             out.setdefault(name, dict(digest))
     return out
+
+
+def validate_digest(digest: object) -> List[str]:
+    """Schema-check one percentile digest; returns problem strings.
+
+    The contract (enforced by ``tools/lint_repro.py --digest-schema`` on
+    cached run records): an empty digest is exactly ``{"count": 0.0}``;
+    a non-empty digest carries every :data:`DIGEST_KEYS` member as a
+    non-negative number with ``p50 <= p90 <= p99 <= max`` and
+    ``mean <= max``, and nothing else.
+    """
+    problems: List[str] = []
+    if not isinstance(digest, Mapping):
+        return [f"digest is {type(digest).__name__}, not a mapping"]
+    unknown = sorted(set(digest) - set(DIGEST_KEYS))
+    if unknown:
+        problems.append(f"unknown digest keys: {', '.join(unknown)}")
+    values: Dict[str, float] = {}
+    for key in DIGEST_KEYS:
+        if key not in digest:
+            continue
+        value = digest[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"{key} is {type(value).__name__}, not a number")
+        elif value < 0:
+            problems.append(f"{key} is negative ({value})")
+        else:
+            values[key] = float(value)
+    count = values.get("count")
+    if "count" not in digest:
+        problems.append("missing key: count")
+    elif count == 0.0:
+        extras = sorted(set(digest) & set(DIGEST_KEYS) - {"count"})
+        if extras:
+            problems.append("empty digest carries value keys: "
+                            + ", ".join(extras))
+    else:
+        missing = sorted(set(DIGEST_KEYS) - set(digest))
+        if missing:
+            problems.append(f"missing keys: {', '.join(missing)}")
+        if not problems:
+            if not (values["p50"] <= values["p90"] <= values["p99"]
+                    <= values["max"]):
+                problems.append(
+                    "percentiles not monotonic: "
+                    f"p50={values['p50']} p90={values['p90']} "
+                    f"p99={values['p99']} max={values['max']}")
+            if values["mean"] > values["max"]:
+                problems.append(f"mean {values['mean']} exceeds max "
+                                f"{values['max']}")
+    return problems

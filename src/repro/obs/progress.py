@@ -34,6 +34,25 @@ PROGRESS_DIR_ENV = "REPRO_PROGRESS_DIR"
 #: minimum seconds between two heartbeat writes of one worker
 HEARTBEAT_INTERVAL_S = 0.5
 
+#: a heartbeat file untouched this long is stale even if its PID lives
+#: (a wedged worker holds its PID but stops beating)
+STALE_HEARTBEAT_S = 30.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False  # never signal process groups / invalid pids
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except (OSError, OverflowError):
+        return False
+    return True
+
 
 class Heartbeat:
     """Worker-side progress beats, written to one per-process file."""
@@ -83,23 +102,38 @@ class Heartbeat:
         self.beat(accesses, force=True)
 
 
-def read_heartbeats(directory: str) -> List[Dict[str, object]]:
-    """Every parsable heartbeat record in ``directory``."""
+def read_heartbeats(directory: str,
+                    stale_after_s: float = STALE_HEARTBEAT_S
+                    ) -> List[Dict[str, object]]:
+    """Every parsable heartbeat record in ``directory``.
+
+    Each record gains a ``"stale"`` flag: True when the writing process
+    is gone (a worker killed mid-sweep leaves its file behind forever)
+    or the file's mtime is older than ``stale_after_s`` (a live but
+    wedged worker).  Stale lanes render as ``stalled`` and are excluded
+    from the aggregate rate.
+    """
     out: List[Dict[str, object]] = []
     try:
         names = sorted(os.listdir(directory))
     except OSError:
         return out
+    now = time.time()
     for name in names:
         if not name.startswith("hb-") or not name.endswith(".json"):
             continue
+        path = Path(directory, name)
         try:
-            record = json.loads(
-                Path(directory, name).read_text(encoding="utf-8"))
+            record = json.loads(path.read_text(encoding="utf-8"))
+            mtime = path.stat().st_mtime
         except (OSError, ValueError):
             continue  # torn write or vanished file: skip this poll
-        if isinstance(record, dict):
-            out.append(record)
+        if not isinstance(record, dict):
+            continue
+        pid = record.get("pid")
+        dead = isinstance(pid, int) and not _pid_alive(pid)
+        record["stale"] = bool(dead or now - mtime > stale_after_s)
+        out.append(record)
     return out
 
 
@@ -143,7 +177,7 @@ class SweepProgress:
         return self
 
     def close(self) -> None:
-        """Stop the ticker and terminate the in-place line."""
+        """Stop the ticker, terminate the line, drop heartbeat files."""
         self._stop.set()
         if self._ticker is not None:
             self._ticker.join(timeout=2.0)
@@ -155,6 +189,19 @@ class SweepProgress:
         self._record({"event": "sweep.end", "done": self.done,
                       "total": self.total,
                       "elapsed_s": round(self.elapsed, 3)})
+        # Heartbeat files of killed workers would otherwise outlive the
+        # sweep (the tempdir cleanup in the runner can miss adopted
+        # directories, and callers may pass a persistent one).
+        if self.heartbeat_dir:
+            try:
+                for name in os.listdir(self.heartbeat_dir):
+                    if name.startswith("hb-") and name.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(self.heartbeat_dir, name))
+                        except OSError:
+                            pass
+            except OSError:
+                pass
 
     def __enter__(self) -> "SweepProgress":
         return self.start()
@@ -199,7 +246,8 @@ class SweepProgress:
     def _rate_suffix(self) -> str:
         beats = (read_heartbeats(self.heartbeat_dir)
                  if self.heartbeat_dir else [])
-        ips = sum(float(b.get("ips", 0.0)) for b in beats)  # type: ignore[arg-type]
+        ips = sum(float(b.get("ips", 0.0)) for b in beats  # type: ignore[arg-type]
+                  if not b.get("stale"))
         parts = []
         if ips > 0:
             parts.append(f"{ips / 1000.0:.1f}k acc/s")
@@ -212,14 +260,22 @@ class SweepProgress:
         """Compose (and, in TTY mode, draw) the one-line progress view."""
         beats = (read_heartbeats(self.heartbeat_dir)
                  if self.heartbeat_dir else [])
-        running = [str(b.get("run", "?")) for b in beats]
-        ips = sum(float(b.get("ips", 0.0)) for b in beats)  # type: ignore[arg-type]
+        running = [str(b.get("run", "?")) for b in beats
+                   if not b.get("stale")]
+        stalled = [str(b.get("run", "?")) for b in beats if b.get("stale")]
+        ips = sum(float(b.get("ips", 0.0)) for b in beats  # type: ignore[arg-type]
+                  if not b.get("stale"))
         parts = [f"[{self.done}/{self.total}]"]
         if running:
             shown = ", ".join(sorted(running)[:3])
             if len(running) > 3:
                 shown += f" +{len(running) - 3}"
             parts.append(f"running {shown}")
+        if stalled:
+            shown = ", ".join(sorted(stalled)[:3])
+            if len(stalled) > 3:
+                shown += f" +{len(stalled) - 3}"
+            parts.append(f"stalled {shown}")
         if ips > 0:
             parts.append(f"{ips / 1000.0:.1f}k acc/s")
         eta = self.eta_s()

@@ -1,9 +1,15 @@
 """The stats-key lint gate: registry enforcement and waivers."""
 
+import json
 from pathlib import Path
 
 from repro.common.stats import STAT_KEYS
-from tools.lint_repro import REPO_ROOT, lint_paths, main
+from tools.lint_repro import (
+    REPO_ROOT,
+    check_digest_schema,
+    lint_paths,
+    main,
+)
 
 
 def lint_source(tmp_path, source, name="fixture.py"):
@@ -83,6 +89,79 @@ class TestCli:
     def test_syntax_error_reported_not_crashed(self, tmp_path):
         problems = lint_source(tmp_path, "def broken(:\n")
         assert len(problems) == 1 and "syntax error" in problems[0]
+
+
+def _write_record(path: Path, hists) -> Path:
+    path.write_text(json.dumps({
+        "workload": "water", "config": "D2M-NS-R", "instructions": 1000,
+        "hists": hists,
+    }))
+    return path
+
+
+GOOD_DIGEST = {"count": 4.0, "mean": 2.5, "max": 7.0,
+               "p50": 3.0, "p90": 7.0, "p99": 7.0}
+
+
+class TestDigestSchema:
+    def test_valid_records_pass(self, tmp_path):
+        _write_record(tmp_path / "a.json",
+                      {"latency.L1": GOOD_DIGEST, "noc.hops": {"count": 0.0}})
+        assert check_digest_schema([tmp_path / "a.json"]) == []
+
+    def test_directory_mode_scans_every_record(self, tmp_path):
+        _write_record(tmp_path / "a.json", {"latency.L1": GOOD_DIGEST})
+        _write_record(tmp_path / "b.json",
+                      {"latency.L1": dict(GOOD_DIGEST, p50=100.0)})
+        problems = check_digest_schema([tmp_path])
+        assert len(problems) == 1
+        assert "b.json" in problems[0] and "monotonic" in problems[0]
+
+    def test_unknown_and_missing_keys_flagged(self, tmp_path):
+        _write_record(tmp_path / "a.json", {
+            "x": dict(GOOD_DIGEST, bogus=1.0),
+            "y": {"count": 2.0, "mean": 1.0},
+        })
+        problems = check_digest_schema([tmp_path / "a.json"])
+        assert any("unknown digest keys: bogus" in p for p in problems)
+        assert any("missing keys" in p for p in problems)
+
+    def test_degenerate_empty_digest_flagged(self, tmp_path):
+        # the pre-fix hop_histogram shape: count 0 but zero-valued stats
+        _write_record(tmp_path / "a.json", {
+            "noc.hops": {"count": 0.0, "mean": 0.0, "max": 0.0,
+                         "p50": 0.0, "p90": 0.0, "p99": 0.0}})
+        problems = check_digest_schema([tmp_path / "a.json"])
+        assert len(problems) == 1
+        assert "empty digest carries value keys" in problems[0]
+
+    def test_non_numbers_and_negatives_flagged(self, tmp_path):
+        _write_record(tmp_path / "a.json", {
+            "x": dict(GOOD_DIGEST, count=True),
+            "y": dict(GOOD_DIGEST, mean=-1.0),
+        })
+        problems = check_digest_schema([tmp_path / "a.json"])
+        assert any("not a number" in p for p in problems)
+        assert any("negative" in p for p in problems)
+
+    def test_cli_mode_exit_codes(self, tmp_path, capsys):
+        good = _write_record(tmp_path / "good.json",
+                             {"latency.L1": GOOD_DIGEST})
+        bad = _write_record(tmp_path / "bad.json",
+                            {"latency.L1": {"mean": 1.0}})
+        assert main(["--digest-schema", str(good)]) == 0
+        assert main(["--digest-schema", str(bad)]) == 1
+        assert "missing key: count" in capsys.readouterr().out
+        assert main(["--digest-schema"]) == 2
+
+    def test_real_cached_record_shape_passes(self, tmp_path):
+        from repro.obs.histogram import Histogram
+
+        hist = Histogram("latency.L1")
+        for value in (1, 5, 9, 200):
+            hist.record(value)
+        _write_record(tmp_path / "a.json", {"latency.L1": hist.summary()})
+        assert check_digest_schema([tmp_path]) == []
 
 
 class TestRegistryContents:

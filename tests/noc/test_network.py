@@ -85,6 +85,15 @@ class TestHopHistogram:
         assert hist.name == "noc.hops"
         assert hist.unit == "hops"
 
+    def test_zero_message_run_digests_empty(self):
+        """No traffic must digest to {"count": 0}, not zeros that read
+        as a real distribution sitting at zero."""
+        digest = make_network().hop_histogram().summary()
+        assert digest == {"count": 0.0}
+        from repro.obs.histogram import validate_digest
+
+        assert validate_digest(digest) == []
+
     def test_counts_every_on_network_message(self):
         net = make_network()
         net.send(MessageKind.READ_REQ, 0, 1)

@@ -2,13 +2,24 @@
 
 import io
 import json
+import os
+import subprocess
+import sys
 
 from repro.obs.progress import (
     PROGRESS_DIR_ENV,
     Heartbeat,
     SweepProgress,
+    _pid_alive,
     read_heartbeats,
 )
+
+
+def _dead_pid() -> int:
+    """A PID that definitely no longer names a live process."""
+    proc = subprocess.Popen([sys.executable, "-c", ""])
+    proc.wait()
+    return proc.pid
 
 
 class TestHeartbeat:
@@ -42,6 +53,60 @@ class TestHeartbeat:
 
     def test_read_heartbeats_missing_directory(self, tmp_path):
         assert read_heartbeats(str(tmp_path / "nope")) == []
+
+
+class TestStaleHeartbeats:
+    def test_pid_alive_probes(self):
+        assert _pid_alive(os.getpid())
+        assert not _pid_alive(_dead_pid())
+        assert not _pid_alive(0)   # never signal process groups
+        assert not _pid_alive(-1)
+        assert not _pid_alive(2 ** 40)  # out-of-range pids are dead
+
+    def test_live_fresh_heartbeat_is_not_stale(self, tmp_path):
+        (tmp_path / "hb-1.json").write_text(json.dumps(
+            {"pid": os.getpid(), "run": "a", "ips": 100.0}))
+        beats = read_heartbeats(str(tmp_path))
+        assert len(beats) == 1
+        assert beats[0]["stale"] is False
+
+    def test_dead_pid_marks_stale(self, tmp_path):
+        """A worker killed mid-sweep leaves its file behind — flag it."""
+        (tmp_path / "hb-9.json").write_text(json.dumps(
+            {"pid": _dead_pid(), "run": "tpcc/D2M-FS", "ips": 900.0}))
+        beats = read_heartbeats(str(tmp_path))
+        assert beats[0]["stale"] is True
+
+    def test_old_mtime_marks_stale_even_with_live_pid(self, tmp_path):
+        path = tmp_path / "hb-1.json"
+        path.write_text(json.dumps(
+            {"pid": os.getpid(), "run": "wedged", "ips": 500.0}))
+        old = path.stat().st_mtime - 120
+        os.utime(path, (old, old))
+        beats = read_heartbeats(str(tmp_path), stale_after_s=30.0)
+        assert beats[0]["stale"] is True
+
+    def test_render_shows_stalled_and_excludes_its_rate(self, tmp_path):
+        (tmp_path / "hb-1.json").write_text(json.dumps(
+            {"pid": os.getpid(), "run": "alive", "ips": 2000.0}))
+        (tmp_path / "hb-2.json").write_text(json.dumps(
+            {"pid": _dead_pid(), "run": "deadlane", "ips": 9000.0}))
+        progress = SweepProgress(total=4, stream=io.StringIO(),
+                                 heartbeat_dir=str(tmp_path), inplace=False)
+        line = progress.render()
+        assert "running alive" in line
+        assert "stalled deadlane" in line
+        assert "2.0k acc/s" in line  # the dead lane's 9k is not counted
+
+    def test_close_cleans_up_heartbeat_files(self, tmp_path):
+        (tmp_path / "hb-1.json").write_text("{}")
+        (tmp_path / "hb-2.json").write_text("{}")
+        (tmp_path / "progress.jsonl").write_text("")
+        progress = SweepProgress(total=1, stream=io.StringIO(),
+                                 heartbeat_dir=str(tmp_path), inplace=False)
+        progress.close()
+        assert not list(tmp_path.glob("hb-*.json"))
+        assert (tmp_path / "progress.jsonl").exists()  # only beats removed
 
 
 class TestSweepProgress:

@@ -109,6 +109,47 @@ class TestTraceRecorder:
             assert all(e["tid"] == MD3_TRACK for e in finishes)
 
 
+class TestChromeExportMultiNode:
+    """Flow-arrow and schema guarantees on a multi-node traced sweep."""
+
+    def _multi_node_trace(self):
+        config = d2m_ns_r()
+        assert config.nodes > 1  # the guarantee under test is cross-node
+        recorder = TraceRecorder(window=600)
+        run_workload(config, "water", instructions=2500, seed=1,
+                     tracer=recorder)
+        return recorder
+
+    def test_flow_arrows_reference_registered_tracks(self):
+        recorder = self._multi_node_trace()
+        events = recorder.chrome_events()
+        tracks = {event["tid"] for event in events
+                  if event.get("ph") == "M"
+                  and event.get("name") == "thread_name"}
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert starts, "multi-node run produced no MD3-mediated transfers"
+        for arrow in starts + finishes:
+            assert arrow["tid"] in tracks
+        # arrows pair up by flow id: one start, one finish, finish on MD3
+        by_id = {}
+        for arrow in starts + finishes:
+            by_id.setdefault(arrow["id"], []).append(arrow["ph"])
+        assert all(sorted(phases) == ["f", "s"]
+                   for phases in by_id.values())
+        assert all(e["tid"] == MD3_TRACK for e in finishes)
+        # transfers start on more than one node's own track
+        assert len({e["tid"] for e in starts}) > 1
+
+    def test_every_windowed_event_is_schema_valid(self):
+        recorder = self._multi_node_trace()
+        pairs = recorder.events()
+        assert 0 < len(pairs) <= 600
+        for access_index, event in pairs:
+            record = recorder.event_record(access_index, event)
+            assert validate_trace_record(record) is None
+
+
 class TestValidateTraceRecord:
     def test_valid_record(self):
         assert validate_trace_record(

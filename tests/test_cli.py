@@ -188,6 +188,107 @@ class TestLogJson:
         assert events[-1] == "cli.end"
 
 
+def _bench_payload(ips_scale=1.0):
+    cells = [{"config": config, "workload": workload,
+              "ips": round(50_000.0 * ips_scale, 1),
+              "phases_s": {"generate": 0.2, "hierarchy": 0.5},
+              "simulate_s": 0.7, "equivalent": True}
+             for config in ("Base-2L", "D2M-NS-R")
+             for workload in ("tpcc", "mix1")]
+    return {"schema": 1, "date": "2026-08-06", "mode": "full",
+            "matrix": {"configs": ["Base-2L", "D2M-NS-R"],
+                       "workloads": ["tpcc", "mix1"], "seed": 1,
+                       "instructions": 20_000, "warmup": 10_000,
+                       "repetitions": 3},
+            "env": {}, "cells": cells,
+            "geomean_ips": round(50_000.0 * ips_scale, 1),
+            "equivalence_checked": True, "equivalence_ok": True}
+
+
+class TestCompare:
+    def test_identical_payloads_exit_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_2026-01-01.json"
+        baseline.write_text(json.dumps(_bench_payload()))
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(_bench_payload()))
+        assert main(["compare", str(candidate),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "ips.Base-2L/tpcc" in out  # per-cell table, ok rows included
+        assert ": OK (" in out
+
+    def test_ips_drop_exits_three_with_cell_table(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_2026-01-01.json"
+        baseline.write_text(json.dumps(_bench_payload()))
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(_bench_payload(ips_scale=0.85)))
+        assert main(["compare", str(candidate),
+                     "--baseline", str(baseline)]) == 3
+        out = capsys.readouterr().out
+        assert "ips.D2M-NS-R/mix1" in out
+        assert "REGRESSION" in out
+        assert "-15.0%" in out
+
+    def test_threshold_flag_relaxes_the_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_2026-01-01.json"
+        baseline.write_text(json.dumps(_bench_payload()))
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(_bench_payload(ips_scale=0.85)))
+        assert main(["compare", str(candidate),
+                     "--baseline", str(baseline),
+                     "--ips-threshold", "20"]) == 0
+
+    def test_missing_candidate_exits_two(self, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.chdir(tmp_path)  # no BENCH_*.json anywhere in here
+        assert main(["compare", "--baseline", "auto"]) == 2
+        assert "no candidate" in capsys.readouterr().err
+
+    def test_bad_baseline_path_exits_two(self, tmp_path, capsys):
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(_bench_payload()))
+        assert main(["compare", str(candidate),
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "compare:" in capsys.readouterr().err
+
+    def test_json_out_writes_report(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_2026-01-01.json"
+        baseline.write_text(json.dumps(_bench_payload()))
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(_bench_payload(ips_scale=0.85)))
+        report_path = tmp_path / "report.json"
+        assert main(["compare", str(candidate), "--baseline", str(baseline),
+                     "--json-out", str(report_path)]) == 3
+        doc = json.loads(report_path.read_text())
+        assert doc["worst"] == "regression"
+        assert any(d["severity"] == "regression" for d in doc["deltas"])
+
+
+class TestDashboard:
+    def test_writes_self_contained_html(self, tmp_path, monkeypatch,
+                                        capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--workloads", "water",
+                     "--instructions", "1200", "--out", str(out)]) == 0
+        assert "comparison view(s) ->" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert "Speedup over Base-2L" in html
+        assert "Side by side" in html  # default d2m-ns-r vs base-2l view
+
+    def test_unknown_config_exits_two(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["dashboard", "--config", "nope"]) == 2
+
+    def test_unknown_workload_exits_two(self, tmp_path, monkeypatch,
+                                        capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["dashboard", "--workloads", "watr"]) == 2
+        assert "watr" in capsys.readouterr().err
+
+
 class TestRunCheckingFlags:
     def test_run_reports_sanitizer_and_invariants(self, capsys):
         assert main(["run", "--config", "d2m-fs", "--workload", "water",

@@ -23,10 +23,17 @@ Usage::
 
     python -m tools.lint_repro [paths...]   # default: src/repro
     python -m tools.lint_repro --trace-schema trace.jsonl [...]
+    python -m tools.lint_repro --digest-schema .repro_cache/runs [...]
 
 ``--trace-schema`` switches to validating JSONL trace exports (from
 ``repro trace --format jsonl``) against the schema in
 :data:`repro.obs.trace.TRACE_FIELDS` — CI runs it on the smoke trace.
+
+``--digest-schema`` validates the histogram-digest payloads (``hists``)
+of cached run records — files or directories of ``*.json`` — against
+:func:`repro.obs.histogram.validate_digest`: an empty digest is exactly
+``{"count": 0.0}``; a non-empty one carries count/mean/max/p50/p90/p99
+with monotonic percentiles and nothing else.
 
 Exit status 1 when any violation is found.
 """
@@ -198,7 +205,66 @@ def check_trace_schema(paths: List[Path]) -> List[str]:
     return problems
 
 
+def check_digest_schema(paths: List[Path]) -> List[str]:
+    """Validate run-record histogram digests; returns violations."""
+    import json
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.histogram import validate_digest
+
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    problems: List[str] = []
+    checked = 0
+    for path in files:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        except ValueError as exc:
+            problems.append(f"{path}: not JSON: {exc}")
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"{path}: record is not a JSON object")
+            continue
+        hists = payload.get("hists", {})
+        if not isinstance(hists, dict):
+            problems.append(f"{path}: 'hists' is "
+                            f"{type(hists).__name__}, not an object")
+            continue
+        for name, digest in sorted(hists.items()):
+            checked += 1
+            for issue in validate_digest(digest):
+                problems.append(f"{path}: hists[{name!r}]: {issue}")
+    if not files:
+        problems.append("--digest-schema matched no record files")
+    return problems
+
+
 def main(argv: List[str]) -> int:
+    if argv and argv[0] == "--digest-schema":
+        record_paths = [Path(arg) for arg in argv[1:]]
+        if not record_paths:
+            print("lint_repro: --digest-schema needs at least one record "
+                  "file or directory (e.g. .repro_cache/runs)",
+                  file=sys.stderr)
+            return 2
+        problems = check_digest_schema(record_paths)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"lint_repro: digest schemas valid in "
+              f"{len(record_paths)} path(s)")
+        return 0
     if argv and argv[0] == "--trace-schema":
         trace_paths = [Path(arg) for arg in argv[1:]]
         if not trace_paths:
