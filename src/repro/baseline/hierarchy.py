@@ -118,6 +118,29 @@ class BaselineHierarchy:
 
     # ------------------------------------------------------------------ access
 
+    def fastpath_handles(self):
+        """Classification contract for the batched driver (sim.batch).
+
+        An access is fast-path eligible iff the core's L1 TLB hits the
+        vpage, the kind-side L1 holds the line, and the MESI state is
+        valid (writable for stores).  The eligible effect set replays
+        :meth:`access`'s L1-hit prefix exactly: TLB stats + policy
+        touch, tlb1 + l1 read energy, ``l1.{i,d}.accesses`` /
+        ``l1.{i,d}.hits`` stats, L1 policy touch, and — for stores —
+        :meth:`NodeCaches.write_hit`; latency is ``l1``.  Everything
+        else is delegated, untouched, to :meth:`access` (whose own L1
+        probe replays the touch identically).
+        """
+        return {
+            "kind": "baseline",
+            "tlbs": [t.fastpath_view() for t in self.tlbs],
+            "tlb_stats": [t.stats for t in self.tlbs],
+            "nodes": [n.fastpath_views() for n in self.nodes],
+            "write_hits": [n.write_hit for n in self.nodes],
+            "lat_fast": self._lat.l1,
+            "line_bits": self._line_bits,
+        }
+
     def access(self, acc: Access, paddr: int, store_version: int = 0) -> AccessResult:
         """Run one memory reference through the hierarchy.
 

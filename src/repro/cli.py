@@ -102,7 +102,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            sanitize=args.sanitize or None,
                            sanitize_every=args.sanitize_every or None,
                            check_invariants=args.check_invariants,
-                           telemetry=True if args.hist else None)
+                           telemetry=True if args.hist else None,
+                           batched=args.batched or None)
     result = outcome.result
     print(f"{args.workload} on {config.name} "
           f"({result.instructions} instructions)")
@@ -279,7 +280,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     return bench_main(quick=args.quick, out=args.out,
                       check_equivalence=not args.no_equivalence,
-                      baseline=args.baseline)
+                      baseline=args.baseline,
+                      scalar_out=args.scalar_out)
 
 
 def _parse_workloads_arg(raw: str) -> Optional[list]:
@@ -463,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--hist", action="store_true",
                        help="collect histogram telemetry and print the "
                             "percentile digests")
+    run_p.add_argument("--batched", action="store_true",
+                       help="use the batched fast-path driver "
+                            "(bit-identical stats; REPRO_BATCHED=1 is "
+                            "the env equivalent)")
     _add_checking_flags(run_p)
 
     report_p = sub.add_parser("report", help="regenerate a paper artifact")
@@ -524,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--no-equivalence", action="store_true",
                          help="skip the optimized-vs-reference stats "
                               "equivalence gate (timing only)")
+    bench_p.add_argument("--scalar-out", default="", metavar="PATH",
+                         help="also write a scalar-headline view of the "
+                              "report (headline ips from the scalar "
+                              "driver) for separate comparison")
     bench_p.add_argument("--baseline", default="", metavar="FILE|auto",
                          help="after benching, diff the fresh report "
                               "against this baseline (exit 3 on "

@@ -52,6 +52,16 @@ class AccessKind(enum.Enum):
         return self is not AccessKind.IFETCH
 
 
+#: Compact integer op-kind codes used by the batched driver's flat
+#: parallel arrays (``repro.sim.batch``): a chunk carries plain ints so
+#: generation never allocates Access objects on the hot path.
+IFETCH_CODE, LOAD_CODE, STORE_CODE = 0, 1, 2
+KIND_CODE = {AccessKind.IFETCH: IFETCH_CODE,
+             AccessKind.LOAD: LOAD_CODE,
+             AccessKind.STORE: STORE_CODE}
+CODE_KIND = (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE)
+
+
 @dataclass(frozen=True)
 class Access:
     """One memory reference.

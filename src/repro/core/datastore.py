@@ -77,6 +77,17 @@ class DataArray:
         mask = self.sets - 1
         return (line ^ (scramble * _SCRAMBLE_SPREAD)) & mask
 
+    def fastpath_view(self):
+        """``(slots, lru, set_mask)`` handles for the batched driver.
+
+        The fast path indexes ``slots[(line ^ scramble * 0x9E37) &
+        set_mask][way]`` (the :meth:`set_of`/:meth:`expect` pair) and
+        replays :meth:`touch` by hand on the ``lru`` order lists; any
+        slot/line mismatch must fall back to the full machine, which
+        raises the same invariant violation :meth:`expect` would.
+        """
+        return self._slots, self._lru, self.sets - 1
+
     # -- slot access -----------------------------------------------------------
 
     def get(self, set_idx: int, way: int) -> Optional[DataLine]:

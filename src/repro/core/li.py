@@ -65,25 +65,49 @@ class LI:
     def mem() -> "LI":
         return _MEM
 
+    # LI values are frozen and compared by value, so the constructors
+    # intern their results: a frozen-dataclass __init__ pays one
+    # object.__setattr__ per field, which is pure overhead on the
+    # install/eviction paths that mint pointers constantly.  The domains
+    # are tiny (ways x nodes), so the memo dicts stay small.
+
     @staticmethod
     def in_node(node: int) -> "LI":
-        return LI(LIKind.NODE, node=node)
+        li = _NODE_CACHE.get(node)
+        if li is None:
+            li = _NODE_CACHE[node] = LI(LIKind.NODE, node=node)
+        return li
 
     @staticmethod
     def in_l1(way: int, instr: bool) -> "LI":
-        return LI(LIKind.L1, way=way, instr=instr)
+        key = (way, instr)
+        li = _L1_CACHE.get(key)
+        if li is None:
+            li = _L1_CACHE[key] = LI(LIKind.L1, way=way, instr=instr)
+        return li
 
     @staticmethod
     def in_l2(way: int) -> "LI":
-        return LI(LIKind.L2, way=way)
+        li = _L2_CACHE.get(way)
+        if li is None:
+            li = _L2_CACHE[way] = LI(LIKind.L2, way=way)
+        return li
 
     @staticmethod
     def in_llc(way: int) -> "LI":
-        return LI(LIKind.LLC, way=way)
+        li = _LLC_CACHE.get(way)
+        if li is None:
+            li = _LLC_CACHE[way] = LI(LIKind.LLC, way=way)
+        return li
 
     @staticmethod
     def in_slice(node: int, way: int) -> "LI":
-        return LI(LIKind.LLC_SLICE, way=way, node=node)
+        key = (node, way)
+        li = _SLICE_CACHE.get(key)
+        if li is None:
+            li = _SLICE_CACHE[key] = LI(LIKind.LLC_SLICE, way=way,
+                                        node=node)
+        return li
 
     # -- predicates ------------------------------------------------------------
 
@@ -116,6 +140,11 @@ class LI:
 
 _INVALID = LI(LIKind.INVALID)
 _MEM = LI(LIKind.MEM)
+_NODE_CACHE: dict = {}
+_L1_CACHE: dict = {}
+_L2_CACHE: dict = {}
+_LLC_CACHE: dict = {}
+_SLICE_CACHE: dict = {}
 
 # Symbol values for the 011SSS group.
 _SYM_MEM = 0

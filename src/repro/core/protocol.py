@@ -174,6 +174,34 @@ class D2MProtocol:
 
     # ------------------------------------------------------------------ access
 
+    def fastpath_handles(self):
+        """Classification contract for the batched driver (sim.batch).
+
+        The returned dict hands the driver everything its inlined D2M
+        fast path needs.  The contract (see DESIGN.md): an access is
+        fast-path eligible iff the access-side MD1 primary store hits
+        the vregion, the region's ``LI[idx]`` points at an L1 way whose
+        slot holds the line, and — for stores — the region is private
+        and the slot is the master copy.  An eligible access's effect
+        set is exactly what :meth:`access` performs on an MD1-hit L1
+        hit: MD1 policy touch, L1 LRU touch, ``l1.{i,d}.accesses`` /
+        ``md.md1_hits`` / ``l1.{i,d}.hits`` stats, one md1 read + one
+        l1_data read (or write) energy charge, a bypass rehit bump, the
+        near-side pressure tick, and latency ``md1 + l1``.  Anything
+        else must be delegated, untouched, to :meth:`access`.
+        """
+        return {
+            "kind": "d2m",
+            "nodes": [n.fastpath_views() for n in self.nodes],
+            "lat_fast": self._lat.md1 + self._lat.l1,
+            "idx_mask": self._idx_mask,
+            "region_bits": self._region_bits,
+            "line_bits": self._line_bits,
+            "bypass": self._bypass_enabled,
+            "ns_llc": self._ns_llc,
+            "tick_pressure": self._tick_pressure,
+        }
+
     def access(self, acc: Access, paddr: int, store_version: int = 0) -> AccessResult:
         """Run one memory reference through the D2M machine."""
         node_id = acc.core

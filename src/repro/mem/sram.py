@@ -87,6 +87,17 @@ class SetAssocStore(Generic[T]):
     def contains(self, key: int) -> bool:
         return key in self._where
 
+    def fastpath_view(self):
+        """``(where, policies)`` handles for the batched driver's inlined
+        hit path (``repro.sim.batch``).
+
+        ``where`` maps key -> ``(set, way, slot)``; a fast-path hit must
+        replay :meth:`lookup`'s exact effect set: read ``loc[2].payload``
+        and call ``policies[loc[0]].touch(loc[1])``.  Any other outcome
+        must leave both structures untouched and take the full path.
+        """
+        return self._where, self._policies
+
     def location_of(self, key: int) -> Optional[Tuple[int, int]]:
         """(set, way) of ``key`` if present."""
         loc = self._where.get(key)

@@ -31,6 +31,14 @@ class Network:
         self.hop_latency = hop_latency
         self.stats = stats
         self._counts: dict = {}
+        # Hop counts are pure in (src, dst); the table keeps the
+        # topology's arithmetic (and its endpoint validation) out of the
+        # per-message path.  Row/column 0 holds the FAR_SIDE_HUB (-1)
+        # sentinel, so endpoints index at +1.
+        self._hop_table = [
+            [topology.hops(src, dst) for dst in range(-1, topology.nodes)]
+            for src in range(-1, topology.nodes)
+        ]
 
     def send(self, kind: MessageKind, src: int, dst: int) -> int:
         """Send one message; returns its latency in cycles.
@@ -39,7 +47,13 @@ class Network:
         not counted as network traffic — that is precisely the near-side
         LLC advantage the paper measures.
         """
-        hops = self.topology.hops(src, dst)
+        if src < -1 or dst < -1:
+            # fall through to the topology for its validation error
+            self.topology.hops(src, dst)
+        try:
+            hops = self._hop_table[src + 1][dst + 1]
+        except IndexError:
+            hops = self.topology.hops(src, dst)  # raises ConfigError
         if hops == 0:
             return 0
         key = (kind, hops)

@@ -59,6 +59,13 @@ class Telemetry:
                  "_dwell_class", "_sample_countdown", "_md1_capacity",
                  "_md2_capacity")
 
+    #: The batched driver (repro.sim.batch) may skip this tracer's hooks
+    #: on fast-path accesses: ``begin_access``/``end_access`` are no-ops
+    #: and ``emit`` only reacts to ``md3.*`` events, which an L1 fast hit
+    #: never produces.  The simulator-facing hooks (:meth:`tick`,
+    #: :meth:`on_access`, :meth:`on_mshr`) are still called per access.
+    fast_path_safe = True
+
     def __init__(self, sample_every: int = DEFAULT_SAMPLE_EVERY,
                  heartbeat: Optional[object] = None) -> None:
         self.hists = HistogramSet()

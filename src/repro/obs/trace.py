@@ -62,6 +62,18 @@ class TracerFanout:
     def __init__(self, tracers: Sequence[object]) -> None:
         self.tracers = list(tracers)
 
+    @property
+    def fast_path_safe(self) -> bool:
+        """A fanout is fast-path safe only if every member is.
+
+        The batched driver (repro.sim.batch) consults this before
+        skipping tracer hooks on fast-path accesses; any member without
+        the marker (e.g. :class:`TraceRecorder`, whose access counter
+        must see every access) forces the all-slow batched path.
+        """
+        return all(getattr(t, "fast_path_safe", False)
+                   for t in self.tracers)
+
     def begin_access(self, node: int, line: int, region: int, idx: int,
                      detail: str = "") -> None:
         for tracer in self.tracers:

@@ -10,12 +10,18 @@ summarization), and the whole report lands in a machine-readable
 ``BENCH_<date>.json`` with an environment fingerprint.
 
 The benchmark doubles as a correctness gate for the optimized driver
-path: every cell is also run once through the *reference* generator
+paths: every cell is also run once through the *reference* generator
 (:meth:`SyntheticWorkload.generate`, by hiding ``generate_fast`` behind
-an adapter) and the two runs' full statistics — flattened stat
-counters, latency buckets, per-core totals, and model cycles — must be
-bit-identical.  Any divergence fails the run with a nonzero exit, which
-is what CI's bench-smoke job keys on.
+an adapter) and once through the *batched* driver
+(:mod:`repro.sim.batch`), and all three runs' full statistics —
+flattened stat counters, latency buckets, per-core totals, and model
+cycles — must be bit-identical.  Any divergence fails the run with a
+nonzero exit, which is what CI's bench-smoke job keys on.
+
+Each cell's headline ``ips`` measures the batched driver (the default
+production path for sweeps); the optimized scalar loop's timings land
+in the cell's ``scalar`` sub-dict so the batched-vs-scalar split stays
+visible in every report.
 
 Timing uses ``time.process_time`` (CPU time; robust against noisy
 co-tenants) with a best-of-``repetitions`` policy per cell.
@@ -119,7 +125,8 @@ def result_snapshot(result: SimResult, cycles: float) -> Dict[str, object]:
 
 
 def _run_once(config: SystemConfig, workload_name: str, instructions: int,
-              warmup: int, reference: bool = False) -> Dict[str, object]:
+              warmup: int, reference: bool = False,
+              batched: bool = False) -> Dict[str, object]:
     """One fresh simulation; returns its :func:`result_snapshot`."""
     hierarchy = build_hierarchy(config)
     workload = make_workload(workload_name, config.nodes, hierarchy.amap,
@@ -128,18 +135,21 @@ def _run_once(config: SystemConfig, workload_name: str, instructions: int,
         workload = ReferenceWorkload(workload)
     simulator = Simulator(hierarchy, check_values=False)
     result = simulator.run(workload, instructions, seed=BENCH_SEED,
-                           warmup=warmup)
+                           warmup=warmup, batched=batched)
     perf = PerfModel(config.ooo).summarize(result)
     return result_snapshot(result, perf.cycles)
 
 
 def _time_cell(config: SystemConfig, workload_name: str, instructions: int,
-               warmup: int, repetitions: int) -> Dict[str, float]:
+               warmup: int, repetitions: int,
+               batched: bool = False) -> Dict[str, float]:
     """Best-of-``repetitions`` phase timings for one matrix cell.
 
     Phases:
 
-    * ``generate`` — draining the workload's access stream alone;
+    * ``generate`` — draining the workload's access stream alone (the
+      chunked :meth:`generate_batch` stream when timing the batched
+      driver, since that is what it consumes);
     * ``hierarchy`` — the simulation loop minus the generate share
       (translation, protocol/hierarchy access, MSHR, recording);
     * ``stats`` — flattening counters and the perf-model summary.
@@ -150,17 +160,23 @@ def _time_cell(config: SystemConfig, workload_name: str, instructions: int,
         hierarchy = build_hierarchy(config)
         workload = make_workload(workload_name, config.nodes, hierarchy.amap,
                                  seed=BENCH_SEED)
-        generate = getattr(workload, "generate_fast", workload.generate)
-
-        t0 = time.process_time()
-        for _acc in generate(total, BENCH_SEED):
-            pass
-        t_generate = time.process_time() - t0
+        gen_batch = getattr(workload, "generate_batch", None)
+        if batched and gen_batch is not None:
+            t0 = time.process_time()
+            for _chunk in gen_batch(total, BENCH_SEED):
+                pass
+            t_generate = time.process_time() - t0
+        else:
+            generate = getattr(workload, "generate_fast", workload.generate)
+            t0 = time.process_time()
+            for _acc in generate(total, BENCH_SEED):
+                pass
+            t_generate = time.process_time() - t0
 
         simulator = Simulator(hierarchy, check_values=False)
         t0 = time.process_time()
         result = simulator.run(workload, instructions, seed=BENCH_SEED,
-                               warmup=warmup)
+                               warmup=warmup, batched=batched)
         t_simulate = time.process_time() - t0
 
         t0 = time.process_time()
@@ -215,8 +231,9 @@ def run_bench(quick: bool = False,
               check_equivalence: bool = True) -> Dict[str, object]:
     """Run the pinned matrix; returns the full report dict.
 
-    ``report["equivalence_ok"]`` is False when any cell's optimized run
-    diverged from its reference-generator run.
+    ``report["equivalence_ok"]`` is False when any cell's optimized
+    scalar run diverged from its reference-generator run, or its
+    batched run diverged from the scalar one.
     """
     if quick:
         instructions, warmup = QUICK_INSTRUCTIONS, QUICK_WARMUP
@@ -237,14 +254,25 @@ def run_bench(quick: bool = False,
                                       warmup)
                 reference = _run_once(config, workload_name, instructions,
                                       warmup, reference=True)
-                equivalent = optimized == reference
-                if not equivalent:
+                batched = _run_once(config, workload_name, instructions,
+                                    warmup, batched=True)
+                scalar_ok = optimized == reference
+                batched_ok = optimized == batched
+                equivalent = scalar_ok and batched_ok
+                if not scalar_ok:
                     equivalence_ok = False
                     print(f"bench: DIVERGENCE in {cell_name}: optimized "
                           "driver does not match the reference generator",
                           file=sys.stderr)
+                if not batched_ok:
+                    equivalence_ok = False
+                    print(f"bench: DIVERGENCE in {cell_name}: batched "
+                          "driver does not match the scalar driver",
+                          file=sys.stderr)
             timing = _time_cell(config, workload_name, instructions, warmup,
-                                repetitions)
+                                repetitions, batched=True)
+            scalar_timing = _time_cell(config, workload_name, instructions,
+                                       warmup, repetitions)
             cell: Dict[str, object] = {
                 "config": config_name,
                 "workload": workload_name,
@@ -255,11 +283,21 @@ def run_bench(quick: bool = False,
                     "stats": round(timing["stats_s"], 6),
                 },
                 "simulate_s": round(timing["simulate_s"], 6),
+                "scalar": {
+                    "ips": round(scalar_timing["ips"], 1),
+                    "phases_s": {
+                        "generate": round(scalar_timing["generate_s"], 6),
+                        "hierarchy": round(scalar_timing["hierarchy_s"], 6),
+                        "stats": round(scalar_timing["stats_s"], 6),
+                    },
+                    "simulate_s": round(scalar_timing["simulate_s"], 6),
+                },
             }
             if equivalent is not None:
                 cell["equivalent"] = equivalent
             cells.append(cell)
-            print(f"bench: {cell_name}: {cell['ips']:.0f} instr/s"
+            print(f"bench: {cell_name}: {cell['ips']:.0f} instr/s batched, "
+                  f"{cell['scalar']['ips']:.0f} scalar"  # type: ignore[index]
                   + ("" if equivalent is None
                      else f" (equivalence {'ok' if equivalent else 'FAIL'})"))
     geomean_ips = _geomean(float(c["ips"]) for c in cells)
@@ -309,6 +347,42 @@ def write_report(report: Dict[str, object], path: str) -> None:
         fh.write("\n")
 
 
+def scalar_view(report: Dict[str, object]) -> Dict[str, object]:
+    """Derive a report whose headline numbers are the scalar driver's.
+
+    Bench cells headline the batched driver and carry the optimized
+    scalar loop in a ``scalar`` sub-dict; the regression sentinel
+    (``repro compare``) reads only headline fields.  This swaps each
+    cell's headline for its scalar sub-report (the batched split moves
+    to a ``batched`` sub-dict) so the scalar driver can be gated
+    through the exact same comparison.  Cells without a ``scalar``
+    sub-dict — reports from before the batched core — pass through
+    unchanged.
+    """
+    import copy
+
+    view = copy.deepcopy(report)
+    cells = view["cells"]
+    assert isinstance(cells, list)
+    for cell in cells:
+        scalar = cell.pop("scalar", None)
+        if scalar is None:
+            continue
+        cell["batched"] = {key: cell[key]
+                           for key in ("ips", "phases_s", "simulate_s")}
+        cell.update(scalar)
+    geomean = _geomean(float(c["ips"]) for c in cells)
+    view["geomean_ips"] = round(geomean, 1)
+    view["driver"] = "scalar"
+    baseline = view.get("baseline")
+    if isinstance(baseline, dict):
+        baseline_geomean = float(baseline.get("geomean_ips", 0.0))
+        if baseline_geomean > 0:
+            view["speedup_vs_baseline"] = round(
+                geomean / baseline_geomean, 2)
+    return view
+
+
 def compare_against_baseline(report: Dict[str, object],
                              baseline: str) -> int:
     """Sentinel hook: diff a fresh report against a baseline bench file.
@@ -350,12 +424,16 @@ def compare_against_baseline(report: Dict[str, object],
 
 
 def main(quick: bool = False, out: str = "",
-         check_equivalence: bool = True, baseline: str = "") -> int:
+         check_equivalence: bool = True, baseline: str = "",
+         scalar_out: str = "") -> int:
     """Entry point shared by ``repro bench`` and ``tools/bench_repro.py``."""
     report = run_bench(quick=quick, check_equivalence=check_equivalence)
     path = out or default_output_path()
     write_report(report, path)
     print(f"bench: report written to {path}")
+    if scalar_out:
+        write_report(scalar_view(report), scalar_out)
+        print(f"bench: scalar-headline view written to {scalar_out}")
     if not report["equivalence_ok"]:
         return 1
     if baseline:

@@ -28,7 +28,14 @@ class PerfSummary:
 
     @property
     def cpi(self) -> float:
-        return self.cycles * max(len(self.per_core_cycles), 1) / max(
+        """Aggregate cycles-per-instruction across all cores.
+
+        Total work done over total instructions retired — NOT the
+        critical-path ``cycles`` (the slowest core) scaled by core
+        count, which over-counts whenever the per-core cycle totals are
+        imbalanced.
+        """
+        return sum(self.per_core_cycles.values()) / max(
             self.instructions, 1
         )
 

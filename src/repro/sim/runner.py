@@ -46,6 +46,11 @@ def telemetry_default() -> bool:
     return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
 
 
+def batched_default() -> bool:
+    """Whether REPRO_BATCHED asks for the batched driver by default."""
+    return os.environ.get("REPRO_BATCHED", "") not in ("", "0")
+
+
 def sanitize_every_default() -> int:
     """Full-walk sampling period from REPRO_SANITIZE_EVERY (0 = off)."""
     value = os.environ.get("REPRO_SANITIZE_EVERY", "")
@@ -66,6 +71,7 @@ class RunSpec:
     sanitize_every: int = 0       # full-walk sampling period (0 = off)
     check_invariants: bool = False  # full invariant walk on the final state
     telemetry: bool = False       # collect histogram telemetry (obs package)
+    batched: bool = False         # batched fast-path driver (repro.sim.batch)
 
 
 @dataclass
@@ -169,7 +175,8 @@ def run_workload(config: SystemConfig, workload_name: str,
                  check_invariants: bool = False,
                  telemetry: Optional[bool] = None,
                  tracer: Optional[object] = None,
-                 heartbeat: Optional[object] = None) -> RunOutcome:
+                 heartbeat: Optional[object] = None,
+                 batched: Optional[bool] = None) -> RunOutcome:
     """Simulate one workload on one system configuration.
 
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` (or
@@ -188,11 +195,16 @@ def run_workload(config: SystemConfig, workload_name: str,
     :class:`~repro.obs.trace.TraceRecorder`) alongside any sanitizer.
     ``heartbeat`` is a sweep-progress :class:`~repro.obs.progress.Heartbeat`
     driven once per simulated access.
+
+    ``batched=None`` defaults from ``REPRO_BATCHED``; when on, the run
+    uses the batched fast-path driver (:mod:`repro.sim.batch`), whose
+    statistics are bit-identical to the scalar loop.
     """
     budget = instructions or instruction_budget()
     roi_warmup = warmup if warmup is not None else warmup_budget(budget)
     do_sanitize = sanitize if sanitize is not None else sanitize_default()
     do_telemetry = telemetry if telemetry is not None else telemetry_default()
+    do_batched = batched if batched is not None else batched_default()
     every = (sanitize_every if sanitize_every is not None
              else sanitize_every_default())
     hierarchy = build_hierarchy(config)
@@ -218,11 +230,13 @@ def run_workload(config: SystemConfig, workload_name: str,
     from repro.obs import runlog
     runlog.emit("run.start", workload=workload_name, config=config.name,
                 instructions=budget, warmup=roi_warmup, seed=seed,
-                sanitize=do_sanitize, telemetry=do_telemetry)
+                sanitize=do_sanitize, telemetry=do_telemetry,
+                batched=do_batched)
     started = _time.monotonic()
     simulator = Simulator(hierarchy, check_values=check_values,
                           telemetry=tele)
-    result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup)
+    result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup,
+                           batched=do_batched)
     if tele is not None:
         tele.finalize(hierarchy if do_telemetry else None)
     perf = PerfModel(config.ooo).summarize(result)
@@ -246,7 +260,7 @@ def run_workload(config: SystemConfig, workload_name: str,
         spec=RunSpec(config, workload_name, budget, seed, check_values,
                      roi_warmup, sanitize=do_sanitize, sanitize_every=every,
                      check_invariants=check_invariants,
-                     telemetry=do_telemetry),
+                     telemetry=do_telemetry, batched=do_batched),
         result=result,
         perf=perf,
         hierarchy=hierarchy,
@@ -275,7 +289,8 @@ def run_spec(spec: RunSpec) -> RunOutcome:
                         sanitize_every=spec.sanitize_every,
                         check_invariants=spec.check_invariants,
                         telemetry=spec.telemetry or None,
-                        heartbeat=heartbeat)
+                        heartbeat=heartbeat,
+                        batched=spec.batched or None)
 
 
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],

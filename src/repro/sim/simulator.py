@@ -11,6 +11,7 @@ the trace is processed in one total order).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -113,13 +114,10 @@ class Simulator:
         self._core_time: Dict[int, float] = {}
         self._outstanding: Dict[Tuple[int, int], float] = {}
         self._issue_interval = hierarchy.config.ooo.base_cpi
-        self._recording = True
-        self._warmup_left = 0
-        self._roi_pending = False
         self._mshr_inserts = 0
 
     def run(self, workload, n_instructions: int, seed: int = 0,
-            warmup: int = 0) -> SimResult:
+            warmup: int = 0, batched: bool = False) -> SimResult:
         """Simulate ``n_instructions`` of ``workload``.
 
         The workload yields :class:`Access` objects and provides
@@ -135,7 +133,34 @@ class Simulator:
         :meth:`SyntheticWorkload.generate_fast`), the driver uses it;
         the loop never retains a yielded access, which is that method's
         one requirement.
+
+        ``batched=True`` dispatches to the batched driver
+        (:func:`repro.sim.batch.run_batched`), which precompiles the
+        stream into flat chunk arrays and resolves L1 fast paths
+        inline.  Its statistics are bit-identical to this scalar loop
+        (the ``repro bench`` equivalence gate enforces it); this loop
+        remains the oracle.
         """
+        # Neither driver creates reference cycles, so the cyclic
+        # collector's gen-0 scans are pure overhead in these
+        # allocation-heavy loops; reference counting still frees
+        # everything promptly while it is paused.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(workload, n_instructions, seed, warmup,
+                             batched)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, workload, n_instructions: int, seed: int,
+             warmup: int, batched: bool) -> SimResult:
+        if batched:
+            from repro.sim.batch import run_batched
+            return run_batched(self, workload, n_instructions, seed=seed,
+                               warmup=warmup)
         result = SimResult(
             name=self.hierarchy.config.name,
             instructions=0,
@@ -143,9 +168,6 @@ class Simulator:
             stats=self.hierarchy.stats,
             buckets={},
         )
-        self._recording = warmup == 0
-        self._warmup_left = warmup
-        self._roi_pending = False
         # This loop runs once per simulated access: every per-access
         # attribute lookup is hoisted into a local and the per-access
         # bookkeeping (clock advance, warm-up/ROI boundary, latency
@@ -173,7 +195,10 @@ class Simulator:
         core_instructions = result.core_instructions
         instr_miss_latency = result.core_instr_miss_latency
         data_miss_latency = result.core_data_miss_latency
-        recording = self._recording
+        # Warm-up/ROI state lives in these locals and nowhere else — the
+        # batched driver keeps its own copies with the same semantics,
+        # and _apply_mshr receives ``recording`` explicitly.
+        recording = warmup == 0
         warmup_left = warmup
         roi_pending = False
         instructions = 0
@@ -200,10 +225,6 @@ class Simulator:
                 self.hierarchy.network.reset()
                 self.hierarchy.energy.reset()
                 recording = True
-                # Mirror the local so _apply_mshr (which only sees the
-                # instance) can scope telemetry to the ROI; this branch
-                # runs once per run.
-                self._recording = True
                 roi_pending = False
             now = core_time.get(core, 0.0)
             if kind is ifetch:
@@ -231,7 +252,7 @@ class Simulator:
                 if check_values:
                     check_load(line, outcome.version)
 
-            outcome = apply_mshr(core, line, now, outcome)
+            outcome = apply_mshr(core, line, now, outcome, recording)
 
             if recording:
                 # -- latency buckets + per-core stall totals.
@@ -252,9 +273,6 @@ class Simulator:
                     lat[core] = lat.get(core, 0) + latency
         result.instructions = instructions
         result.accesses = accesses
-        self._recording = recording
-        self._warmup_left = warmup_left
-        self._roi_pending = roi_pending
         self.hierarchy.finalize()
         return result
 
@@ -264,7 +282,8 @@ class Simulator:
     _MSHR_PRUNE_PERIOD = 8192
 
     def _apply_mshr(self, core: int, line: int, now: float,
-                    outcome: AccessResult) -> AccessResult:
+                    outcome: AccessResult,
+                    recording: bool = True) -> AccessResult:
         """Convert accesses under an outstanding miss into late hits.
 
         MSHR semantics (both cases observe the *existing* completion time;
@@ -293,7 +312,7 @@ class Simulator:
             return outcome
         self._outstanding[key] = now + outcome.latency
         telemetry = self.telemetry
-        if telemetry is not None and self._recording:
+        if telemetry is not None and recording:
             telemetry.on_mshr(outcome.latency)
         # Entries for lines never re-accessed would otherwise accumulate
         # forever; periodically drop every entry whose fill has completed

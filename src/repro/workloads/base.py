@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from itertools import accumulate
 from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
-from repro.common.types import Access, AccessKind
+from repro.common.types import (Access, AccessKind, IFETCH_CODE, LOAD_CODE,
+                                STORE_CODE)
 from repro.mem.address import AddressMap, AddressSpace, PageAllocator
 from repro.workloads.synthetic import Stream
 
@@ -259,3 +260,67 @@ class SyntheticWorkload:
                     yield acc
             debt[core] = owed
             core = (core + 1) % nodes
+
+    def generate_batch(self, n_instructions: int, seed: int = 0,
+                       chunk: int = 4096
+                       ) -> Iterator[Tuple[List[int], List[int], List[int]]]:
+        """The :meth:`generate` stream as chunked flat parallel arrays.
+
+        Yields ``(cores, kinds, vaddrs)`` tuples of equal-length lists
+        covering consecutive slices of the *identical* access sequence
+        :meth:`generate`/:meth:`generate_fast` produce (same per-core
+        RNGs, same draws).  ``kinds`` holds the compact codes from
+        :mod:`repro.common.types` (``IFETCH_CODE``/``LOAD_CODE``/
+        ``STORE_CODE``).  Chunk boundaries always fall between the data
+        ops of one instruction and the next IFETCH, but consumers must
+        not rely on that — a chunk is just a flush point.
+
+        This is the batched driver's (``repro.sim.batch``) native input:
+        plain int lists append faster than Access construction and bulk
+        operations (region ids, page ids) can be vectorized per chunk.
+        """
+        rngs = [random.Random((seed or self._seed) * 1_000_003 + core)
+                for core in range(self.nodes)]
+        code = [self.spec.code.build(core, rngs[core])
+                for core in range(self.nodes)]
+        mixes = [self.spec.data.build(core, self.nodes, rngs[core])
+                 for core in range(self.nodes)]
+        choice_tables = []
+        for weights, streams in mixes:
+            cum = list(accumulate(weights))
+            choice_tables.append(
+                (streams, cum, cum[-1] + 0.0, len(streams) - 1))
+        debt = [0.0] * self.nodes
+        mem_ratio = self.spec.mem_ratio
+        nodes = self.nodes
+
+        cores: List[int] = []
+        kinds: List[int] = []
+        vaddrs: List[int] = []
+        issued = 0
+        core = 0
+        while issued < n_instructions:
+            rng = rngs[core]
+            cores.append(core)
+            kinds.append(IFETCH_CODE)
+            vaddrs.append(code[core].next_pc(rng))
+            issued += 1
+            owed = debt[core] + mem_ratio
+            if owed >= 1.0:
+                streams, cum, total, hi = choice_tables[core]
+                while owed >= 1.0:
+                    owed -= 1.0
+                    stream = streams[bisect(cum, rng.random() * total, 0, hi)]
+                    vaddr, is_write = stream.next_op(rng)
+                    cores.append(core)
+                    kinds.append(STORE_CODE if is_write else LOAD_CODE)
+                    vaddrs.append(vaddr)
+            debt[core] = owed
+            core = (core + 1) % nodes
+            if len(cores) >= chunk:
+                yield cores, kinds, vaddrs
+                cores = []
+                kinds = []
+                vaddrs = []
+        if cores:
+            yield cores, kinds, vaddrs

@@ -17,10 +17,10 @@ format, so synthetic traces can be exported, edited, and replayed.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator, List, Union
+from typing import Iterator, List, Tuple, Union
 
 from repro.common.errors import TraceError
-from repro.common.types import Access, AccessKind
+from repro.common.types import Access, AccessKind, KIND_CODE
 from repro.mem.address import AddressMap, AddressSpace, PageAllocator
 
 _KIND_CODES = {
@@ -44,6 +44,19 @@ def parse_trace_line(line: str, lineno: int = 0) -> Access:
     except (ValueError, KeyError) as exc:
         raise TraceError(f"line {lineno}: {exc}") from exc
     return Access(core, kind, vaddr)
+
+
+def _parsed_lines(path: Path) -> Iterator[Tuple[int, Access]]:
+    """Yield ``(lineno, access)`` for every payload line of a trace file.
+
+    The one comment-stripping / blank-skipping / parsing loop shared by
+    :meth:`TraceFileWorkload.generate` and :func:`load_trace`.
+    """
+    with path.open() as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                yield lineno, parse_trace_line(line, lineno)
 
 
 class TraceFileWorkload:
@@ -77,24 +90,60 @@ class TraceFileWorkload:
         return self._spaces[core].translate(vaddr)
 
     def generate(self, n_instructions: int, seed: int = 0) -> Iterator[Access]:
+        """Replay the trace's first ``n_instructions`` instruction windows.
+
+        The instruction-window convention matches the synthetic
+        generators exactly: an IFETCH opens a window and the data
+        accesses that follow it (up to the next IFETCH) belong to it, so
+        the Nth instruction's trailing data ops are replayed before the
+        cutoff — which is what makes a ``record_trace`` round trip
+        bit-identical to its originating synthetic run.  Data lines
+        *before* the first IFETCH belong to no instruction window and
+        are skipped (after validation), and a non-positive budget
+        replays nothing — previously both leaked leading data accesses.
+        """
         del seed  # a recorded trace is already fully determined
+        if n_instructions <= 0:
+            return
         issued = 0
-        with self.path.open() as handle:
-            for lineno, raw in enumerate(handle, start=1):
-                line = raw.split("#", 1)[0].strip()
-                if not line:
-                    continue
-                access = parse_trace_line(line, lineno)
-                if access.core >= self.nodes:
-                    raise TraceError(
-                        f"line {lineno}: core {access.core} outside the "
-                        f"{self.nodes}-node machine"
-                    )
-                if access.is_instruction:
-                    if issued >= n_instructions:
-                        return
-                    issued += 1
-                yield access
+        for lineno, access in _parsed_lines(self.path):
+            if access.core >= self.nodes:
+                raise TraceError(
+                    f"line {lineno}: core {access.core} outside the "
+                    f"{self.nodes}-node machine"
+                )
+            if access.is_instruction:
+                if issued >= n_instructions:
+                    return
+                issued += 1
+            elif issued == 0:
+                continue  # data before the first instruction window
+            yield access
+
+    def generate_batch(self, n_instructions: int, seed: int = 0,
+                       chunk: int = 4096
+                       ) -> Iterator[Tuple[List[int], List[int], List[int]]]:
+        """:meth:`generate`'s stream as chunked flat parallel arrays.
+
+        Same contract as :meth:`SyntheticWorkload.generate_batch`:
+        ``(cores, kinds, vaddrs)`` int-list tuples with ``kinds`` using
+        the compact codes from :mod:`repro.common.types`.
+        """
+        kind_code = KIND_CODE
+        cores: List[int] = []
+        kinds: List[int] = []
+        vaddrs: List[int] = []
+        for access in self.generate(n_instructions, seed):
+            cores.append(access.core)
+            kinds.append(kind_code[access.kind])
+            vaddrs.append(access.vaddr)
+            if len(cores) >= chunk:
+                yield cores, kinds, vaddrs
+                cores = []
+                kinds = []
+                vaddrs = []
+        if cores:
+            yield cores, kinds, vaddrs
 
 
 def record_trace(workload, n_instructions: int, path: Union[str, Path],
@@ -117,10 +166,4 @@ def record_trace(workload, n_instructions: int, path: Union[str, Path],
 
 def load_trace(path: Union[str, Path]) -> List[Access]:
     """Eagerly parse a whole trace file (validation helper)."""
-    out: List[Access] = []
-    with Path(path).open() as handle:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.split("#", 1)[0].strip()
-            if line:
-                out.append(parse_trace_line(line, lineno))
-    return out
+    return [access for _lineno, access in _parsed_lines(Path(path))]

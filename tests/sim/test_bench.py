@@ -32,6 +32,15 @@ class TestEquivalenceGate:
                                         reference=True)
             assert optimized == reference, name
 
+    def test_batched_matches_scalar(self):
+        # the batched driver's promise: bit-identical to the scalar loop
+        for name in ("Base-2L", "D2M-NS-R"):
+            config = _config(name)
+            scalar = bench._run_once(config, "tpcc", 600, 300)
+            batched = bench._run_once(config, "tpcc", 600, 300,
+                                      batched=True)
+            assert scalar == batched, name
+
     def test_snapshot_is_json_serializable(self):
         snap = bench._run_once(_config("Base-2L"), "swaptions", 400, 200)
         round_tripped = json.loads(json.dumps(snap))
@@ -56,6 +65,12 @@ class TestReport:
             assert cell["ips"] > 0
             phases = cell["phases_s"]
             assert set(phases) == {"generate", "hierarchy", "stats"}
+            # the batched headline carries a scalar sub-report with the
+            # same phase split, so the batched-vs-scalar gap is explicit
+            scalar = cell["scalar"]
+            assert scalar["ips"] > 0
+            assert set(scalar["phases_s"]) == {"generate", "hierarchy",
+                                               "stats"}
         assert report["geomean_ips"] > 0
         for key in ("python", "platform", "cpu_count", "commit"):
             assert key in report["env"]
@@ -77,3 +92,36 @@ class TestReport:
     def test_geomean(self):
         assert bench._geomean([4.0, 9.0]) == 6.0
         assert bench._geomean([]) == 0.0
+
+    def test_scalar_view_swaps_headline(self):
+        cell = {
+            "config": "Base-2L", "workload": "tpcc",
+            "ips": 200.0, "phases_s": {"generate": 1.0}, "simulate_s": 2.0,
+            "scalar": {"ips": 50.0, "phases_s": {"generate": 3.0},
+                       "simulate_s": 4.0},
+            "equivalent": True,
+        }
+        report = {"cells": [cell], "geomean_ips": 200.0,
+                  "baseline": {"geomean_ips": 25.0},
+                  "speedup_vs_baseline": 8.0}
+        view = bench.scalar_view(report)
+        got = view["cells"][0]
+        assert got["ips"] == 50.0
+        assert got["phases_s"] == {"generate": 3.0}
+        assert got["simulate_s"] == 4.0
+        assert got["batched"]["ips"] == 200.0
+        assert "scalar" not in got
+        assert got["equivalent"] is True
+        assert view["geomean_ips"] == 50.0
+        assert view["speedup_vs_baseline"] == 2.0
+        assert view["driver"] == "scalar"
+        # the original report is untouched
+        assert report["cells"][0]["ips"] == 200.0
+        assert "scalar" in report["cells"][0]
+
+    def test_scalar_view_passes_old_reports_through(self):
+        report = {"cells": [{"config": "Base-2L", "workload": "tpcc",
+                             "ips": 40.0}], "geomean_ips": 40.0}
+        view = bench.scalar_view(report)
+        assert view["cells"][0]["ips"] == 40.0
+        assert "batched" not in view["cells"][0]

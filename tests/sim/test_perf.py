@@ -67,3 +67,19 @@ class TestPerfModel:
         summary = model.summarize(result_with({0: 1000}, {}, {}))
         assert summary.cpi == pytest.approx(summary.cycles / 1000)
         assert summary.cpi == pytest.approx(1.25)
+
+    def test_cpi_on_imbalanced_cores(self):
+        # Regression: cpi must aggregate the per-core cycle totals, not
+        # scale the slowest core by the core count.  Core 0 does 1000
+        # instructions with no stalls (1000 cycles), core 1 does 1000
+        # instructions plus 4000 un-hidden instruction-stall cycles
+        # (5000 cycles): 6000 total cycles over 2000 instructions.
+        ooo = OoOModel(base_cpi=1.0, instr_hide_fraction=0.0)
+        model = PerfModel(ooo)
+        summary = model.summarize(result_with(
+            {0: 1000, 1: 1000}, {1: 4000}, {}))
+        assert summary.cycles == pytest.approx(5000)  # critical path
+        assert summary.cpi == pytest.approx(3.0)      # (1000+5000)/2000
+        # the old formula (cycles * n_cores / instructions) gave 5.0
+        assert summary.cpi != pytest.approx(
+            summary.cycles * 2 / summary.instructions)

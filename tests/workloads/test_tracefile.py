@@ -47,6 +47,43 @@ class TestRecordReplay:
         assert (list(replay.generate(300))
                 == list(fresh.generate(300, seed=3)))
 
+    @pytest.mark.parametrize("wl_name", ["water", "mix1"])
+    def test_roundtrip_simulation_bit_identical(self, tmp_path, wl_name):
+        # record_trace -> TraceFileWorkload must reproduce the
+        # originating synthetic run bit-for-bit: stats tree, buckets,
+        # per-core totals, cycles, and telemetry histogram digests.
+        # 'water' uses a shared address space (threads of one process),
+        # 'mix1' per-process spaces — both conventions must survive the
+        # round trip.
+        from repro.obs.telemetry import Telemetry
+        from repro.sim.bench import result_snapshot
+        from repro.sim.perf import PerfModel
+
+        def simulate(workload, config):
+            hierarchy = build_hierarchy(config)
+            tele = Telemetry(sample_every=32).attach(hierarchy)
+            simulator = Simulator(hierarchy, telemetry=tele)
+            result = simulator.run(workload, 400, seed=3, warmup=120)
+            perf = PerfModel(config.ooo).summarize(result)
+            snap = result_snapshot(result, perf.cycles)
+            snap["hists"] = tele.hists.summaries()
+            return snap
+
+        amap = AddressMap()
+        source = make_workload(wl_name, 2, amap, seed=3)
+        shared = source.spec.shared_space
+        path = tmp_path / f"{wl_name}.trace"
+        # the run consumes warmup + instructions = 520 windows
+        record_trace(source, 520, path, seed=3)
+        for factory in (base_2l, d2m_fs):
+            original = simulate(make_workload(wl_name, 2, amap, seed=3),
+                                factory(2))
+            replayed = simulate(
+                TraceFileWorkload(path, nodes=2, amap=amap,
+                                  shared_space=shared),
+                factory(2))
+            assert original == replayed, (wl_name, factory.__name__)
+
     def test_comments_and_blank_lines_skipped(self, tmp_path):
         path = tmp_path / "t.trace"
         path.write_text("# header\n\n0 I 0x10  # inline\n0 L 0x20\n")
