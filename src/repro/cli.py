@@ -16,6 +16,9 @@ Commands:
   resolves the newest committed ``BENCH_*.json``).
 * ``dashboard`` — render the sweep matrix, histogram digests, and
   comparison views into one self-contained static HTML file.
+* ``verify`` — reconcile both coherence protocols against their
+  declarative specs (AST extraction), optionally model-check small
+  configurations exhaustively and gate on runtime transition coverage.
 
 ``repro --log-json FILE`` (or ``REPRO_LOG=FILE``) adds structured JSONL
 run logging to any command; ``-`` logs to stderr.
@@ -358,6 +361,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Static protocol verification (spec reconcile, model, coverage)."""
+    from repro.verify.report import run_verification, write_json
+
+    report = run_verification(model_check=args.model_check,
+                              coverage=args.coverage)
+    print(report.render())
+    if args.json_out:
+        write_json(report, args.json_out)
+        print(f"report JSON -> {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     """Render the static HTML observability dashboard."""
     from repro.experiments.runner import SweepError, get_matrix
@@ -561,6 +577,21 @@ def build_parser() -> argparse.ArgumentParser:
     compare_p.add_argument("--json-out", default="", metavar="PATH",
                            help="also write the full ComparisonReport JSON")
 
+    verify_p = sub.add_parser(
+        "verify",
+        help="verify the protocols against their declarative specs "
+             "(AST reconcile; optional model check and coverage)")
+    verify_p.add_argument("--model-check", action="store_true",
+                          help="exhaustively explore small configs of "
+                               "both protocol models (SWMR, data values, "
+                               "MD inclusion, stuck-freedom)")
+    verify_p.add_argument("--coverage", action="store_true",
+                          help="run the pinned bench matrix + probes and "
+                               "gate on never-exercised spec transitions")
+    verify_p.add_argument("--json-out", default="", metavar="PATH",
+                          help="also write the full verification report "
+                               "JSON")
+
     dash_p = sub.add_parser(
         "dashboard",
         help="render sweep + telemetry + comparisons into static HTML")
@@ -608,6 +639,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "compare": _cmd_compare,
+    "verify": _cmd_verify,
     "dashboard": _cmd_dashboard,
 }
 

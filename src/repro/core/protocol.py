@@ -896,7 +896,28 @@ class D2MProtocol:
                             role=LineRole.MASTER, rp=rp)
         self._install_local(node_id, kind.is_instruction, pregion, idx,
                             incoming, scramble)
+        self._reanchor_master_rp(node_id, incoming, scramble)
         return level, latency + self._lat.l1, store_version
+
+    def _reanchor_master_rp(self, node_id: int, master: DataLine,
+                            scramble: int) -> None:
+        """Re-validate a freshly installed master's reserved victim slot.
+
+        The install's eviction cascade runs before the new master is
+        visible (array slot and LI are written after the cascade), so a
+        master relocation triggered by the cascade can legally steal the
+        reserved victim slot the in-flight master's RP names.  The steal
+        writes the victim data back, so falling back to a memory RP keeps
+        the chain consistent.
+        """
+        rp = master.rp
+        if rp is None or not rp.is_llc:
+            return
+        slot = self.llc.get(self.llc.resolve(rp, master.line, scramble))
+        if (slot is None or slot.line != master.line
+                or slot.role is not LineRole.VICTIM_SLOT
+                or slot.tracked_by_node != node_id):
+            master.rp = LI.mem()
 
     def _claim_mastership(self, node_id: int, old_master: Optional[LI],
                           line: int, pregion: int, scramble: int) -> LI:
@@ -1021,6 +1042,7 @@ class D2MProtocol:
                                 role=LineRole.MASTER, rp=rp)
             self._install_local(node_id, kind.is_instruction, pregion, idx,
                                 incoming, scramble)
+            self._reanchor_master_rp(node_id, incoming, scramble)
             level = (HitLevel.LLC_LOCAL if endpoint == node_id
                      else HitLevel.LLC_REMOTE)
         elif li.kind is LIKind.NODE:
@@ -1529,16 +1551,47 @@ class D2MProtocol:
                 self._writeback_if_needed(ref, slot)
                 lslot.rp = (slot.rp if slot.role is LineRole.REPLICA
                             and slot.rp is not None else LI.mem())
+            elif self._repoint_chained(tracker_id, lslot.rp, line, scramble,
+                                       ref, slot, loc_li):
+                pass
             else:
                 raise InvariantViolation(
                     f"node-tracked LLC slot for line {line:#x} is not "
                     f"referenced by node {tracker_id}'s copy"
                 )
+        elif self._repoint_chained(tracker_id, cur, line, scramble, ref,
+                                   slot, loc_li):
+            pass
         else:
             raise InvariantViolation(
                 f"node-tracked LLC slot for line {line:#x} unreachable from "
                 f"node {tracker_id} (LI={cur})"
             )
+
+    def _repoint_chained(self, tracker_id: int, via: Optional[LI], line: int,
+                         scramble: int, ref: SlotRef, slot: DataLine,
+                         loc_li: LI) -> bool:
+        """Release an LLC slot reached through a chained NS-R replica.
+
+        A node-tracked master may be referenced indirectly: the node's
+        copy (or LI) names a chained node-private LLC replica whose RP in
+        turn names the evicted slot.  Chase that one level — mirror of
+        the chain handling in ``_update_location`` — and splice the
+        evicted slot out of the chain.
+        """
+        if via is None or not via.is_llc or via == loc_li:
+            return False
+        inner_ref = self.llc.resolve(via, line, scramble)
+        inner = self.llc.get(inner_ref)
+        if (inner is None or inner.line != line
+                or inner.role is not LineRole.REPLICA
+                or inner.tracked_by_node != tracker_id
+                or inner.rp != loc_li):
+            return False
+        self._writeback_if_needed(ref, slot)
+        inner.rp = (slot.rp if slot.role is LineRole.REPLICA
+                    and slot.rp is not None else LI.mem())
+        return True
 
     def _writeback_if_needed(self, ref: SlotRef, slot: DataLine) -> None:
         """Write a dirty LLC slot back to memory (version-monotonic)."""

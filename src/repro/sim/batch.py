@@ -43,7 +43,7 @@ tracer hooks are no-ops on the hit path).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 try:
     import numpy as _np
@@ -70,7 +70,7 @@ DEFAULT_CHUNK = 4096
 _NUMPY_MIN = 1024
 
 
-def _chunks_from_scalar(workload, total: int, seed: int,
+def _chunks_from_scalar(workload: Any, total: int, seed: int,
                         chunk: int) -> Iterator[Tuple[List[int], List[int],
                                                       List[int]]]:
     """Generic chunker over a workload without :meth:`generate_batch`.
@@ -98,7 +98,7 @@ def _chunks_from_scalar(workload, total: int, seed: int,
         yield cores, kinds, vaddrs
 
 
-def _chunk_stream(workload, total: int, seed: int,
+def _chunk_stream(workload: Any, total: int, seed: int,
                   chunk: int) -> Iterator[Tuple[List[int], List[int],
                                                 List[int]]]:
     gen_batch = getattr(workload, "generate_batch", None)
@@ -107,7 +107,7 @@ def _chunk_stream(workload, total: int, seed: int,
     return _chunks_from_scalar(workload, total, seed, chunk)
 
 
-def _lru_orders(policies) -> Optional[List[List[int]]]:
+def _lru_orders(policies: Sequence[Any]) -> Optional[List[List[int]]]:
     """Per-set ``_order`` lists when every policy is plain LRU, else None.
 
     The hot loop inlines the LRU touch (MRU early-out + remove/append);
@@ -119,7 +119,7 @@ def _lru_orders(policies) -> Optional[List[List[int]]]:
     return None
 
 
-def _shells(nodes: int):
+def _shells(nodes: int) -> Tuple[List[Access], List[Access], List[Access]]:
     """One reusable frozen-Access per (kind, core) for the slow tail."""
     return (
         [Access(core, AccessKind.IFETCH, 0) for core in range(nodes)],
@@ -128,7 +128,8 @@ def _shells(nodes: int):
     )
 
 
-def _translation(workload, hierarchy):
+def _translation(workload: Any, hierarchy: Any
+                 ) -> Tuple[Optional[List[Any]], int, int]:
     """``(page_maps, page_bits, offset_mask)`` for inline translation.
 
     When the workload exposes per-core :class:`AddressSpace` objects
@@ -143,7 +144,7 @@ def _translation(workload, hierarchy):
     return None, hierarchy.amap.page_bits, 0
 
 
-def run_batched(sim, workload, n_instructions: int, seed: int = 0,
+def run_batched(sim: Any, workload: Any, n_instructions: int, seed: int = 0,
                 warmup: int = 0, chunk: int = DEFAULT_CHUNK) -> SimResult:
     """Batched twin of :meth:`Simulator.run` (same arguments, same result).
 
@@ -175,8 +176,9 @@ def run_batched(sim, workload, n_instructions: int, seed: int = 0,
     return result
 
 
-def _drive_d2m(sim, workload, machine, handles, result, n_instructions,
-               seed, warmup, fast_ok, chunk) -> None:
+def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
+               result: SimResult, n_instructions: int, seed: int,
+               warmup: int, fast_ok: bool, chunk: int) -> None:
     hierarchy = sim.hierarchy
     stats = hierarchy.stats
     network = hierarchy.network
@@ -542,8 +544,10 @@ def _drive_d2m(sim, workload, machine, handles, result, n_instructions,
             core_time[c] = t
 
 
-def _drive_baseline(sim, workload, machine, handles, result, n_instructions,
-                    seed, warmup, fast_ok, chunk) -> None:
+def _drive_baseline(sim: Any, workload: Any, machine: Any,
+                    handles: Dict[str, Any], result: SimResult,
+                    n_instructions: int, seed: int, warmup: int,
+                    fast_ok: bool, chunk: int) -> None:
     hierarchy = sim.hierarchy
     stats = hierarchy.stats
     network = hierarchy.network

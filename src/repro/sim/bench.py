@@ -35,7 +35,7 @@ import platform
 import subprocess
 import sys
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.params import SystemConfig, all_configs
 from repro.core.hierarchy import build_hierarchy
@@ -90,10 +90,11 @@ class ReferenceWorkload:
 
     __slots__ = ("_inner",)
 
-    def __init__(self, inner) -> None:
+    def __init__(self, inner: Any) -> None:
         self._inner = inner
 
-    def generate(self, n_instructions: int, seed: int = 0):
+    def generate(self, n_instructions: int,
+                 seed: int = 0) -> Iterator[Any]:
         return self._inner.generate(n_instructions, seed)
 
     def translate(self, core: int, vaddr: int) -> int:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import os
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.common.errors import InvariantViolation
 from repro.common.params import SystemConfig
@@ -295,7 +295,8 @@ def run_spec(spec: RunSpec) -> RunOutcome:
 
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],
                instructions: int = 0, seed: int = 1,
-               progress=None, check_values: bool = False,
+               progress: Optional[Callable[[str, str], None]] = None,
+               check_values: bool = False,
                jobs: int = 1, sanitize: bool = False,
                sanitize_every: int = 0,
                check_invariants: bool = False
@@ -313,12 +314,13 @@ def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],
                      sanitize=sanitize, sanitize_every=sanitize_every,
                      check_invariants=check_invariants)
              for workload_name in workloads for config in configs]
+    wrapped: Optional[Callable[[int, int, RunSpec], None]] = None
     if progress is not None:
-        def wrapped(done, total, spec):
+        callback = progress
+
+        def wrapped(done: int, total: int, spec: RunSpec) -> None:
             del done, total
-            progress(spec.workload, spec.config.name)
-    else:
-        wrapped = None
+            callback(spec.workload, spec.config.name)
     results, failures = execute_runs(specs, run_spec, jobs=jobs,
                                      progress=wrapped)
     if failures:

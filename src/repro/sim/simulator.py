@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.common.errors import TraceError
 from repro.common.stats import StatGroup
@@ -104,8 +104,8 @@ class SimResult:
 class Simulator:
     """Drives one workload through one hierarchy."""
 
-    def __init__(self, hierarchy, check_values: bool = True,
-                 telemetry=None) -> None:
+    def __init__(self, hierarchy: Any, check_values: bool = True,
+                 telemetry: Optional[Any] = None) -> None:
         self.hierarchy = hierarchy
         self.check_values = check_values
         #: optional repro.obs.telemetry.Telemetry sink; None = zero cost
@@ -116,7 +116,7 @@ class Simulator:
         self._issue_interval = hierarchy.config.ooo.base_cpi
         self._mshr_inserts = 0
 
-    def run(self, workload, n_instructions: int, seed: int = 0,
+    def run(self, workload: Any, n_instructions: int, seed: int = 0,
             warmup: int = 0, batched: bool = False) -> SimResult:
         """Simulate ``n_instructions`` of ``workload``.
 
@@ -155,7 +155,7 @@ class Simulator:
             if gc_was_enabled:
                 gc.enable()
 
-    def _run(self, workload, n_instructions: int, seed: int,
+    def _run(self, workload: Any, n_instructions: int, seed: int,
              warmup: int, batched: bool) -> SimResult:
         if batched:
             from repro.sim.batch import run_batched

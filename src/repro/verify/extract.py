@@ -1,0 +1,274 @@
+"""AST-based transition extractor: recover what the protocols *do*.
+
+The extractor walks the protocol implementation modules and collects
+**facts** — per enclosing function, the protocol-visible effects the
+code can perform:
+
+* ``send:<KIND>`` — a ``self._send(MessageKind.KIND, ...)`` call;
+* ``devent:<NAME>`` — an ``events.add("NAME")`` event-taxonomy bump;
+* ``stat:<KEY>`` — a ``stats.add("KEY")`` bump for one of the curated
+  protocol counters (:data:`PROTOCOL_STATS`; pure bookkeeping counters
+  such as ``l1.d.accesses`` are not transitions and are ignored);
+* ``emit:<KIND>`` — a ``tracer.emit("KIND", ...)`` trace event;
+* ``state:<NAME>`` — a ``CoherenceState.NAME`` enum reference in a
+  *write* position (assignment right-hand side or call argument;
+  comparisons are guards, not transitions, and are skipped);
+* ``role:<NAME>`` — a ``LineRole.NAME`` reference, same positions;
+* ``func:`` — the function exists (every spec anchor must resolve).
+
+:func:`reconcile` diffs the extraction against the declarative spec
+(:mod:`repro.verify.spec`): every fact must be claimed by a transition's
+evidence or carry a waiver, every evidence claim must match an extracted
+fact, and every waiver must still match real code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+REPO_SRC = Path(__file__).resolve().parent.parent
+
+#: module key -> file scanned (relative to the ``repro`` package)
+SCANNED_MODULES: Dict[str, str] = {
+    "core.protocol": "core/protocol.py",
+    "core.node": "core/node.py",
+    "core.md3": "core/md3.py",
+    "baseline.hierarchy": "baseline/hierarchy.py",
+    "baseline.cache": "baseline/cache.py",
+    "baseline.directory": "baseline/directory.py",
+}
+
+#: stat keys that *are* protocol transitions (event outcomes), as opposed
+#: to reference/bookkeeping counters (hit/miss tallies, energy, NoC).
+PROTOCOL_STATS = frozenset({
+    # D2M
+    "md.md1_hits", "md.md1_cross_hits", "md.md2_hits", "md.misses",
+    "misses.private_region", "mem_reads_redirected", "bypass.reads",
+    "ns.replications", "invalidations_received",
+    "md2.prunes", "md2.spills", "reprivatizations",
+    "evictions.replica", "evictions.llc", "evictions.llc_shared",
+    "evictions.llc_untracked", "md3.global_evictions",
+    # baseline MESI
+    "upgrades", "llc_recalls", "node_evictions",
+    "reads.llc", "reads.memory", "reads.remote_node", "reads.self_owner",
+    "writes.llc", "writes.memory",
+})
+
+#: tracked enum receivers -> fact kind
+_ENUM_KINDS = {"CoherenceState": "state", "LineRole": "role"}
+
+#: a single extracted fact: (module key, function qualname, "kind:value")
+FactKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One spec<->implementation discrepancy."""
+
+    kind: str       # undeclared | missing-evidence | missing-anchor | stale-waiver
+    module: str
+    qualname: str
+    fact: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] {self.module}:{self.qualname}: "
+                f"{self.fact or '-'} ({self.detail})")
+
+
+class _FactVisitor(ast.NodeVisitor):
+    """Collects facts for one module, tracking the enclosing qualname."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.facts: Set[FactKey] = set()
+        self.functions: Set[str] = set()
+        self._stack: List[str] = []
+
+    # -- scope tracking -----------------------------------------------------
+
+    def _qualname(self) -> str:
+        return ".".join(self._stack) if self._stack else "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def _visit_func(self, node: ast.AST, name: str) -> None:
+        self._stack.append(name)
+        self.functions.add(self._qualname())
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    # -- fact helpers -------------------------------------------------------
+
+    def _add(self, kind: str, value: str) -> None:
+        if self._stack:  # module-level tables are not transitions
+            self.facts.add((self.module, self._qualname(), f"{kind}:{value}"))
+
+    def _collect_enum_refs(self, node: ast.AST) -> None:
+        """Enum references in a write-position subtree.
+
+        Comparisons (``x is CoherenceState.M``) are guards, not effects;
+        their whole subtree is skipped.
+        """
+        if isinstance(node, ast.Compare):
+            return
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            kind = _ENUM_KINDS.get(node.value.id)
+            if kind is not None:
+                self._add(kind, node.attr)
+        for child in ast.iter_child_nodes(node):
+            self._collect_enum_refs(child)
+
+    @staticmethod
+    def _receiver_name(node: ast.expr) -> str:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return ""
+
+    # -- visitors -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._collect_enum_refs(node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._collect_enum_refs(node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = self._receiver_name(func.value)
+            args = node.args
+            if func.attr == "_send" and args:
+                kind_arg = args[0]
+                if (isinstance(kind_arg, ast.Attribute)
+                        and isinstance(kind_arg.value, ast.Name)
+                        and kind_arg.value.id == "MessageKind"):
+                    self._add("send", kind_arg.attr)
+            elif (func.attr == "add" and receiver == "events" and args
+                    and isinstance(args[0], ast.Constant)
+                    and isinstance(args[0].value, str)):
+                self._add("devent", args[0].value)
+            elif (func.attr in ("add", "set") and receiver in ("stats", "_stats")
+                    and args and isinstance(args[0], ast.Constant)
+                    and isinstance(args[0].value, str)
+                    and args[0].value in PROTOCOL_STATS):
+                self._add("stat", args[0].value)
+            elif (func.attr == "emit" and receiver == "tracer" and args
+                    and isinstance(args[0], ast.Constant)
+                    and isinstance(args[0].value, str)):
+                self._add("emit", args[0].value)
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._collect_enum_refs(arg)
+        self.generic_visit(node)
+
+
+@dataclass
+class Extraction:
+    """Facts and function sets for all scanned modules."""
+
+    facts: Set[FactKey]
+    functions: Dict[str, Set[str]]  # module -> qualnames
+
+    def facts_of(self, module: str, qualname: str) -> Set[str]:
+        return {fact for (mod, qual, fact) in self.facts
+                if mod == module and qual == qualname}
+
+
+def extract_facts(src_root: Optional[Path] = None) -> Extraction:
+    """Extract facts from every scanned module."""
+    root = src_root if src_root is not None else REPO_SRC
+    facts: Set[FactKey] = set()
+    functions: Dict[str, Set[str]] = {}
+    for module, rel in SCANNED_MODULES.items():
+        path = root / rel
+        tree = ast.parse(path.read_text(), filename=str(path))
+        visitor = _FactVisitor(module)
+        visitor.visit(tree)
+        facts |= visitor.facts
+        functions[module] = visitor.functions
+    return Extraction(facts=facts, functions=functions)
+
+
+def reconcile(transitions: Iterable[object],
+              waivers: Dict[FactKey, str],
+              extraction: Optional[Extraction] = None) -> List[Finding]:
+    """Diff the spec's evidence against the extracted transition relation.
+
+    Returns findings, empty when spec and implementation agree:
+
+    * ``missing-anchor`` — an evidence anchor names a function the
+      implementation does not define (spec-only transition);
+    * ``missing-evidence`` — an evidence anchor claims a fact the
+      function does not perform (spec-only effect);
+    * ``undeclared`` — the implementation performs an effect no spec
+      transition claims and no waiver justifies;
+    * ``stale-waiver`` — a waiver for code that no longer exists.
+    """
+    ext = extraction if extraction is not None else extract_facts()
+    findings: List[Finding] = []
+    claimed: Set[FactKey] = set()
+
+    for transition in transitions:
+        for evidence in transition.evidence:  # type: ignore[attr-defined]
+            module, qualname = evidence.module, evidence.qualname
+            known = ext.functions.get(module, set())
+            if qualname not in known:
+                findings.append(Finding(
+                    "missing-anchor", module, qualname, "",
+                    f"transition {transition.tid} anchors a function "  # type: ignore[attr-defined]
+                    f"that does not exist"))
+                continue
+            have = ext.facts_of(module, qualname)
+            for fact in evidence.facts:
+                claimed.add((module, qualname, fact))
+                if fact not in have:
+                    findings.append(Finding(
+                        "missing-evidence", module, qualname, fact,
+                        f"claimed by {transition.tid} but not performed "  # type: ignore[attr-defined]
+                        f"by the implementation"))
+
+    for key, justification in waivers.items():
+        if key not in ext.facts:
+            findings.append(Finding(
+                "stale-waiver", key[0], key[1], key[2],
+                f"waived ({justification!r}) but the code no longer "
+                f"performs it"))
+
+    for key in sorted(ext.facts):
+        if key in claimed or key in waivers:
+            continue
+        findings.append(Finding(
+            "undeclared", key[0], key[1], key[2],
+            "performed by the implementation but no spec transition "
+            "claims it"))
+    return findings
+
+
+def _main() -> int:
+    """Dump the fact inventory (debugging aid)."""
+    ext = extract_facts()
+    for module, qualname, fact in sorted(ext.facts):
+        print(f"{module}:{qualname}: {fact}")
+    print(f"-- {len(ext.facts)} facts, "
+          f"{sum(len(v) for v in ext.functions.values())} functions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

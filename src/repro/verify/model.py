@@ -1,0 +1,537 @@
+"""Exhaustive BFS model checker over the declarative protocol specs.
+
+Small configurations (2-3 cores x 1-2 lines x load/store/evict events)
+are explored to fixpoint over an abstraction of each protocol:
+
+* **MESI** — per line, the per-node MESI state, LLC presence, and a
+  *freshness set* (which holders currently have the newest data).
+* **D2M** — the region's MD3 tracking state (tracked, presence bits,
+  private) plus, per line, the master's location (node / LLC / memory),
+  the node copy set, and the freshness set.  Lines share one region so
+  region-grain events (privatization, spills, global evictions)
+  interact with line-grain coherence.
+
+Checked on every reachable state/step:
+
+* **SWMR** — never two writable copies; writes always collapse the
+  freshness set to the writer.
+* **Data-value consistency** — every data source consulted by a
+  load/store/relocation must be in the freshness set, and the set can
+  never drain (the newest value is never lost).
+* **MD-tracking / inclusion** — D2M: cached copies imply MD3 tracking,
+  copies stay inside the presence bits, private regions have at most
+  one presence bit; MESI: valid node copies imply LLC presence
+  (inclusive LLC).
+* **Stuck states** — every (state, event) pair must be handled by a
+  spec transition; an unhandled combination raises.
+
+Each rule cites the spec transition ids it implements; after the run,
+``model=True`` transitions never fired are reported unreachable
+(spec-only transitions, the third finding class of the ISSUE).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.verify.spec import D2M_SPEC, MESI_SPEC, ProtocolSpec
+
+MEM = "mem"
+LLC = "llc"
+
+Holder = object  # int node id, "llc", or "mem"
+
+
+class StuckState(Exception):
+    """An event reached a (state, event) pair no spec transition handles."""
+
+
+@dataclass
+class Violation:
+    """One invariant failure with the event path that reaches it."""
+
+    invariant: str      # swmr | data-value | md-tracking | inclusion | stuck
+    detail: str
+    path: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        trail = " -> ".join(self.path) if self.path else "<initial>"
+        return f"[{self.invariant}] {self.detail} (via {trail})"
+
+
+@dataclass
+class ModelResult:
+    """Outcome of one exhaustive exploration."""
+
+    protocol: str
+    cores: int
+    lines: int
+    states: int
+    steps: int
+    violations: List[Violation] = field(default_factory=list)
+    fired: Set[str] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def unreachable(self, spec: ProtocolSpec) -> List[str]:
+        """``model=True`` transitions this exploration never fired."""
+        return [t.tid for t in spec.transitions
+                if t.model and t.tid not in self.fired]
+
+
+# ---------------------------------------------------------------------------
+# Shared BFS driver
+# ---------------------------------------------------------------------------
+
+# (new_state, fired transition ids, event label)
+Step = Tuple[object, Tuple[str, ...], str]
+
+
+def _explore(protocol: str, cores: int, lines: int, initial: object,
+             successors: Callable[[object], Iterator[Step]],
+             check: Callable[[object], Optional[Tuple[str, str]]],
+             max_states: int = 2_000_000) -> ModelResult:
+    """Breadth-first fixpoint over the induced transition system."""
+    result = ModelResult(protocol=protocol, cores=cores, lines=lines,
+                         states=0, steps=0)
+    parent: Dict[object, Tuple[Optional[object], str]] = {initial: (None, "")}
+
+    def path_to(state: object) -> Tuple[str, ...]:
+        trail: List[str] = []
+        cursor: Optional[object] = state
+        while cursor is not None:
+            prev, label = parent[cursor]
+            if label:
+                trail.append(label)
+            cursor = prev
+        return tuple(reversed(trail))
+
+    bad = check(initial)
+    if bad is not None:
+        result.violations.append(Violation(bad[0], bad[1], ()))
+        return result
+
+    frontier = deque([initial])
+    seen: Set[object] = {initial}
+    while frontier:
+        state = frontier.popleft()
+        result.states += 1
+        if result.states > max_states:
+            result.violations.append(Violation(
+                "explosion", f"exceeded {max_states} states", ()))
+            break
+        try:
+            steps = list(successors(state))
+        except StuckState as exc:
+            result.violations.append(Violation(
+                "stuck", str(exc), path_to(state)))
+            continue
+        for new_state, fired, label in steps:
+            result.steps += 1
+            result.fired.update(fired)
+            if new_state in seen:
+                continue
+            seen.add(new_state)
+            parent[new_state] = (state, label)
+            bad = check(new_state)
+            if bad is not None:
+                result.violations.append(Violation(
+                    bad[0], bad[1], path_to(new_state)))
+                continue  # don't explore past a broken state
+            frontier.append(new_state)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Baseline directory-MESI model
+# ---------------------------------------------------------------------------
+
+# Per line: (states: tuple of "M"/"E"/"S"/"I" per node,
+#            llc: line present in the inclusive LLC,
+#            fresh: frozenset of holders with the newest data)
+MesiLine = Tuple[Tuple[str, ...], bool, FrozenSet[Holder]]
+MesiState = Tuple[MesiLine, ...]
+
+
+def _mesi_check(state: MesiState) -> Optional[Tuple[str, str]]:
+    for idx, (states, llc, fresh) in enumerate(state):
+        owners = [n for n, st in enumerate(states) if st in ("M", "E")]
+        valid = [n for n, st in enumerate(states) if st != "I"]
+        if owners and len(valid) > 1:
+            return ("swmr", f"line {idx}: owner {owners} coexists with "
+                            f"copies {valid}")
+        if len(owners) > 1:
+            return ("swmr", f"line {idx}: multiple owners {owners}")
+        holders: Set[Holder] = {MEM} | set(valid)
+        if llc:
+            holders.add(LLC)
+        if not (fresh <= holders):
+            return ("data-value", f"line {idx}: fresh set {sorted(map(str, fresh))} "
+                                  f"outside actual holders")
+        if not fresh:
+            return ("data-value", f"line {idx}: newest data lost "
+                                  f"(empty freshness set)")
+        if valid and not llc:
+            return ("inclusion", f"line {idx}: node copies {valid} without "
+                                 f"an LLC copy")
+    return None
+
+
+def _mesi_successors(cores: int, lines: int
+                     ) -> Callable[[object], Iterator[Step]]:
+    nodes = range(cores)
+
+    def read_source(line: MesiLine, n: int) -> Step:
+        """load(n) on an invalid local copy: mesi.load.miss_*."""
+        states, llc, fresh = line
+        new = list(states)
+        owner = next((m for m in nodes if states[m] in ("M", "E")), None)
+        if owner is not None:
+            # mesi.load.miss_fwd: 3-hop, owner downgrades + writes back
+            if owner not in fresh and LLC not in fresh and MEM not in fresh:
+                raise StuckState(f"fwd read with no fresh source")
+            new[owner] = "S"
+            new[n] = "S"
+            return ((tuple(new), True, fresh | {n, LLC}),
+                    ("mesi.load.miss_fwd",), f"load(n{n})")
+        if llc:
+            sharers = [m for m in nodes if states[m] == "S"]
+            new[n] = "S" if sharers else "E"
+            tid = ("mesi.load.miss_llc_shared" if sharers
+                   else "mesi.load.miss_llc_excl")
+            return ((tuple(new), True, fresh | {n}), (tid,), f"load(n{n})")
+        # mesi.load.miss_mem: uncached everywhere -> E + LLC fill
+        new[n] = "E"
+        return ((tuple(new), True, fresh | {n, LLC}),
+                ("mesi.load.miss_mem",), f"load(n{n})")
+
+    def successors(state: object) -> Iterator[Step]:
+        assert isinstance(state, tuple)
+        for li, line in enumerate(state):
+            states, llc, fresh = line
+            for n in nodes:
+                st = states[n]
+                # ---- load ----
+                if st != "I":
+                    yield (_replace(state, li, line),
+                           ("mesi.load.hit",), f"load(n{n})")
+                else:
+                    new_line, fired, label = read_source(line, n)
+                    yield (_replace(state, li, new_line), fired,
+                           f"{label}/l{li}")
+                # ---- store ----
+                if st == "M":
+                    yield (_replace(state, li,
+                                    (states, llc, frozenset({n}))),
+                           ("mesi.store.hit_m",), f"store(n{n})/l{li}")
+                elif st == "E":
+                    new = list(states)
+                    new[n] = "M"
+                    yield (_replace(state, li,
+                                    (tuple(new), llc, frozenset({n}))),
+                           ("mesi.store.hit_e",), f"store(n{n})/l{li}")
+                elif st == "S":
+                    new = list(states)
+                    fired_list = ["mesi.store.upgrade"]
+                    for m in nodes:
+                        if m != n and new[m] == "S":
+                            new[m] = "I"
+                            fired_list.append("mesi.inv.sharer")
+                    new[n] = "M"
+                    yield (_replace(state, li,
+                                    (tuple(new), llc, frozenset({n}))),
+                           tuple(fired_list), f"store(n{n})/l{li}")
+                else:  # I
+                    new = list(states)
+                    owner = next((m for m in nodes
+                                  if states[m] in ("M", "E")), None)
+                    fired_list = []
+                    if owner is not None:
+                        new[owner] = "I"
+                        fired_list.append("mesi.store.miss_fwd")
+                        new_llc = True
+                    elif llc:
+                        fired_list.append("mesi.store.miss_llc")
+                        for m in nodes:
+                            if m != n and new[m] == "S":
+                                new[m] = "I"
+                                fired_list.append("mesi.inv.sharer")
+                        new_llc = True
+                    else:
+                        fired_list.append("mesi.store.miss_mem")
+                        new_llc = True
+                    new[n] = "M"
+                    yield (_replace(state, li,
+                                    (tuple(new), new_llc, frozenset({n}))),
+                           tuple(fired_list), f"store(n{n})/l{li}")
+                # ---- evict ----
+                if st == "M":
+                    new = list(states)
+                    new[n] = "I"
+                    nf = (fresh - {n}) | {LLC} if n in fresh else fresh
+                    yield (_replace(state, li, (tuple(new), llc, nf)),
+                           ("mesi.evict.dirty",), f"evict(n{n})/l{li}")
+                elif st in ("E", "S"):
+                    new = list(states)
+                    new[n] = "I"
+                    nf = fresh - {n}
+                    # a clean copy implies LLC/mem is equally fresh
+                    if not nf:
+                        nf = frozenset({LLC if llc else MEM})
+                    yield (_replace(state, li, (tuple(new), llc, nf)),
+                           ("mesi.evict.clean",), f"evict(n{n})/l{li}")
+            # ---- llc_evict: inclusive recall ----
+            if llc:
+                new = tuple("I" for _ in nodes)
+                yield (_replace(state, li, (new, False, frozenset({MEM}))),
+                       ("mesi.recall",), f"llc_evict/l{li}")
+
+    return successors
+
+
+def _replace(state: tuple, idx: int, line: object) -> tuple:
+    return state[:idx] + (line,) + state[idx + 1:]
+
+
+def check_mesi(cores: int = 2, lines: int = 1) -> ModelResult:
+    """Exhaustively explore the MESI spec at the given size."""
+    line: MesiLine = (tuple("I" for _ in range(cores)), False,
+                      frozenset({MEM}))
+    initial: MesiState = tuple(line for _ in range(lines))
+    return _explore("mesi", cores, lines, initial,
+                    _mesi_successors(cores, lines), _mesi_check)
+
+
+# ---------------------------------------------------------------------------
+# D2M MD-hierarchy model
+# ---------------------------------------------------------------------------
+
+# Region: (tracked: MD3 entry exists, pb: presence bits, private: bool)
+Region = Tuple[bool, FrozenSet[int], bool]
+# Per line: (master: node id | "llc" | None (memory),
+#            copies: node-resident copies (master included when a node),
+#            fresh: freshness set)
+D2mLine = Tuple[Optional[Holder], FrozenSet[int], FrozenSet[Holder]]
+D2mState = Tuple[Region, Tuple[D2mLine, ...]]
+
+
+def _d2m_check(state: object) -> Optional[Tuple[str, str]]:
+    assert isinstance(state, tuple)
+    (tracked, pb, private), line_states = state
+    if private and len(pb) > 1:
+        return ("md-tracking", f"private region with PB={sorted(pb)}")
+    if pb and not tracked:
+        return ("md-tracking", f"PB={sorted(pb)} without an MD3 entry")
+    for idx, (master, copies, fresh) in enumerate(line_states):
+        cached = bool(copies) or master is not None
+        if cached and not tracked:
+            return ("md-tracking", f"line {idx} cached without MD3 entry")
+        if not (copies <= pb):
+            return ("md-tracking", f"line {idx}: copies {sorted(copies)} "
+                                   f"outside PB {sorted(pb)}")
+        if isinstance(master, int) and master not in pb:
+            return ("md-tracking", f"line {idx}: node master {master} "
+                                   f"not in PB {sorted(pb)}")
+        if isinstance(master, int) and master not in copies:
+            return ("swmr", f"line {idx}: master {master} holds no copy")
+        holders: Set[Holder] = {MEM} | set(copies)
+        if master == LLC:
+            holders.add(LLC)
+        if not (fresh <= holders):
+            return ("data-value", f"line {idx}: fresh set outside holders")
+        if not fresh:
+            return ("data-value", f"line {idx}: newest data lost")
+    return None
+
+
+def _d2m_successors(cores: int, lines: int
+                    ) -> Callable[[object], Iterator[Step]]:
+    nodes = range(cores)
+
+    def classify(region: Region, n: int) -> Tuple[Region, Tuple[str, ...]]:
+        """Metadata-miss classification for node n (d2m.D1-D4)."""
+        tracked, pb, private = region
+        if n in pb:
+            return region, ()
+        if not tracked:
+            return (True, frozenset({n}), True), ("d2m.D1",)
+        if not pb:
+            return (True, frozenset({n}), True), ("d2m.D4",)
+        if private:
+            return (True, pb | {n}, False), ("d2m.D2",)
+        return (True, pb | {n}, False), ("d2m.D3",)
+
+    def fetch(region: Region, line: D2mLine, n: int
+              ) -> Tuple[D2mLine, Tuple[str, ...]]:
+        """Data fetch for a load miss at node n (d2m.A.*)."""
+        master, copies, fresh = line
+        _, _, private = region
+        if isinstance(master, int):
+            if master not in fresh and MEM not in fresh:
+                raise StuckState("remote-node read with stale master")
+            return ((master, copies | {n}, fresh | {n}), ("d2m.A.node",))
+        if master == LLC:
+            if LLC not in fresh and MEM not in fresh:
+                raise StuckState("LLC read with stale master slot")
+            return ((LLC, copies | {n}, fresh | {n}), ("d2m.A.llc",))
+        # memory fill: master lands at the node for private regions,
+        # in the LLC for shared ones
+        if MEM not in fresh:
+            raise StuckState("memory read with stale memory")
+        if private:
+            return ((n, copies | {n}, fresh | {n}), ("d2m.A.mem",))
+        return ((LLC, copies | {n}, fresh | {n, LLC}), ("d2m.A.mem",))
+
+    def successors(state: object) -> Iterator[Step]:
+        assert isinstance(state, tuple)
+        region, line_states = state
+        tracked, pb, private = region
+        for li, line in enumerate(line_states):
+            master, copies, fresh = line
+            for n in nodes:
+                # ---- load ----
+                if n in copies:
+                    if n not in fresh:
+                        raise StuckState(f"line {li}: stale local copy "
+                                         f"survived at node {n}")
+                    yield (state, ("d2m.hit",), f"load(n{n})/l{li}")
+                else:
+                    new_region, md_fired = classify(region, n)
+                    new_line, data_fired = fetch(new_region, line, n)
+                    yield ((new_region,
+                            _replace(line_states, li, new_line)),
+                           md_fired + data_fired, f"load(n{n})/l{li}")
+                # ---- store ----
+                new_region, md_fired = classify(region, n)
+                _, new_pb, new_private = new_region
+                if new_private:
+                    # d2m.B: private write; claim mastership when needed
+                    if master == n:
+                        yield ((new_region, _replace(
+                                    line_states, li,
+                                    (n, copies | {n}, frozenset({n})))),
+                               md_fired + ("d2m.hit",),
+                               f"store(n{n})/l{li}")
+                    else:
+                        source = master if master is not None else MEM
+                        if source not in fresh and MEM not in fresh:
+                            raise StuckState("private write pulled stale "
+                                             "data")
+                        yield ((new_region, _replace(
+                                    line_states, li,
+                                    (n, frozenset({n}), frozenset({n})))),
+                               md_fired + ("d2m.B",), f"store(n{n})/l{li}")
+                else:
+                    # d2m.C: blocking ReadEx + PB-scoped invalidation of
+                    # this line, then pruning of nodes left with no data
+                    # anywhere in the region (the implementation's
+                    # _maybe_prune guard), then privatization if pruning
+                    # collapsed PB to the writer
+                    fired = list(md_fired) + ["d2m.C"]
+                    if copies - {n}:
+                        fired.append("d2m.C.inv")
+                    if isinstance(master, int) and master != n:
+                        fired.append("d2m.C.master_node")
+                    new_lines = _replace(
+                        line_states, li,
+                        (n, frozenset({n}), frozenset({n})))
+                    keep = {n} | {m for m in new_pb
+                                  if any(m in cp or mst == m
+                                         for mst, cp, _ in new_lines)}
+                    pruned_pb = frozenset(new_pb) & frozenset(keep | {n})
+                    if new_pb - pruned_pb:
+                        fired.append("d2m.C.prune")
+                    now_private = pruned_pb == frozenset({n})
+                    if now_private:
+                        fired.append("d2m.C.privatize")
+                    yield (((True, pruned_pb, now_private), new_lines),
+                           tuple(fired), f"store(n{n})/l{li}")
+                # ---- evict ----
+                if n in copies:
+                    if master == n:
+                        # d2m.E/F: master relocation into the LLC
+                        tid = "d2m.E" if private else "d2m.F"
+                        nf = ((fresh - {n}) | {LLC} if n in fresh
+                              else fresh)
+                        yield ((region, _replace(
+                                    line_states, li,
+                                    (LLC, copies - {n}, nf))),
+                               (tid,), f"evict(n{n})/l{li}")
+                    else:
+                        nf = fresh - {n}
+                        if not nf:
+                            nf = frozenset({MEM})
+                        yield ((region, _replace(
+                                    line_states, li,
+                                    (master, copies - {n}, nf))),
+                               ("d2m.evict.replica",),
+                               f"evict(n{n})/l{li}")
+            # ---- llc_evict ----
+            if master == LLC:
+                fired = ["d2m.evict.llc_tracked"]
+                if not private:
+                    fired.append("d2m.evict.llc_shared")
+                if copies:
+                    new_master: Optional[Holder] = min(copies)
+                    nf = ((fresh - {LLC}) | {new_master}
+                          if LLC in fresh else fresh)
+                else:
+                    new_master = None
+                    if LLC in fresh:
+                        fired.append("d2m.wb")
+                        nf = frozenset({MEM})
+                    else:
+                        nf = fresh
+                yield ((region, _replace(line_states, li,
+                                         (new_master, copies, nf))),
+                       tuple(fired), f"llc_evict/l{li}")
+        # ---- spill(n): MD2 capacity eviction of the region's node
+        # metadata; only legal once the node holds no data in the region
+        for n in nodes:
+            if n in pb and not any(n in cp or mst == n
+                                   for mst, cp, _ in line_states):
+                yield (((tracked, pb - {n}, private), line_states),
+                       ("d2m.spill",), f"spill(n{n})")
+        # ---- global_evict: MD3 conflict drops the whole region ----
+        if tracked:
+            new_lines = []
+            fired = ["d2m.global_evict"]
+            for master, copies, fresh in line_states:
+                if fresh and MEM not in fresh:
+                    fired.append("d2m.wb")
+                new_lines.append((None, frozenset(), frozenset({MEM})))
+            yield (((False, frozenset(), False), tuple(new_lines)),
+                   tuple(fired), "global_evict")
+
+    return successors
+
+
+def check_d2m(cores: int = 2, lines: int = 1) -> ModelResult:
+    """Exhaustively explore the D2M spec at the given size."""
+    region: Region = (False, frozenset(), False)
+    line: D2mLine = (None, frozenset(), frozenset({MEM}))
+    initial: D2mState = (region, tuple(line for _ in range(lines)))
+    return _explore("d2m", cores, lines, initial,
+                    _d2m_successors(cores, lines), _d2m_check)
+
+
+#: (protocol name, checker, spec) for the CLI / CI sweep
+CHECKERS = (
+    ("mesi", check_mesi, MESI_SPEC),
+    ("d2m", check_d2m, D2M_SPEC),
+)
+
+
+def check_all(cores: Tuple[int, ...] = (2,),
+              lines: Tuple[int, ...] = (1, 2)) -> List[ModelResult]:
+    """The acceptance sweep: both specs at every (cores, lines) size."""
+    results = []
+    for _, checker, _spec in CHECKERS:
+        for c in cores:
+            for ln in lines:
+                results.append(checker(c, ln))
+    return results

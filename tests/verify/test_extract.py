@@ -1,0 +1,142 @@
+"""AST transition extractor: fact recovery and spec reconciliation."""
+
+import ast
+
+from repro.verify.extract import (
+    Extraction,
+    _FactVisitor,
+    extract_facts,
+    reconcile,
+)
+from repro.verify.spec import SPECS, WAIVERS, Evidence, Transition
+
+
+def facts_of(source: str, module: str = "m"):
+    visitor = _FactVisitor(module)
+    visitor.visit(ast.parse(source))
+    return visitor
+
+
+class TestFactExtraction:
+    def test_send_devent_stat_emit_facts(self):
+        src = (
+            "class P:\n"
+            "    def step(self):\n"
+            "        self._send(MessageKind.GET_MD, a, b)\n"
+            "        self.events.add('D1')\n"
+            "        self.stats.add('upgrades')\n"
+            "        self.tracer.emit('llc.fill', node=0)\n"
+        )
+        visitor = facts_of(src)
+        got = {fact for (_m, qual, fact) in visitor.facts
+               if qual == "P.step"}
+        assert got == {"send:GET_MD", "devent:D1", "stat:upgrades",
+                       "emit:llc.fill"}
+
+    def test_enum_writes_collected_but_compares_skipped(self):
+        src = (
+            "def f(slot):\n"
+            "    if slot.state is CoherenceState.MODIFIED:\n"
+            "        slot.state = CoherenceState.SHARED\n"
+            "    slot.role = LineRole.MASTER\n"
+        )
+        visitor = facts_of(src)
+        got = {fact for (_m, _q, fact) in visitor.facts}
+        assert got == {"state:SHARED", "role:MASTER"}
+
+    def test_non_protocol_stats_ignored(self):
+        visitor = facts_of(
+            "def f(stats):\n"
+            "    stats.add('l1.d.accesses')\n"  # bookkeeping, not a transition
+            "    stats.add('md2.prunes')\n"
+        )
+        got = {fact for (_m, _q, fact) in visitor.facts}
+        assert got == {"stat:md2.prunes"}
+
+    def test_module_level_tables_are_not_transitions(self):
+        visitor = facts_of("ROLE = LineRole.MASTER\n")
+        assert visitor.facts == set()
+
+    def test_functions_recorded_with_qualnames(self):
+        visitor = facts_of(
+            "class A:\n"
+            "    def f(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+        )
+        assert {"A.f", "A.f.inner"} <= visitor.functions
+
+
+def _extraction(facts, functions):
+    return Extraction(facts=set(facts), functions=functions)
+
+
+def _transition(tid, evidence):
+    return Transition(tid=tid, state="S", event="e", guard="g",
+                      actions=("a",), next_state="S", evidence=evidence)
+
+
+class TestReconcile:
+    def test_clean_when_spec_and_facts_agree(self):
+        ext = _extraction({("m", "P.f", "stat:upgrades")}, {"m": {"P.f"}})
+        t = _transition("t1", (Evidence("m", "P.f", ("stat:upgrades",)),))
+        assert reconcile([t], {}, ext) == []
+
+    def test_undeclared_fact_is_a_finding(self):
+        ext = _extraction({("m", "P.f", "stat:upgrades")}, {"m": {"P.f"}})
+        t = _transition("t1", (Evidence("m", "P.f"),))
+        findings = reconcile([t], {}, ext)
+        assert [f.kind for f in findings] == ["undeclared"]
+        assert findings[0].fact == "stat:upgrades"
+
+    def test_waiver_suppresses_undeclared(self):
+        ext = _extraction({("m", "P.f", "stat:upgrades")}, {"m": {"P.f"}})
+        t = _transition("t1", (Evidence("m", "P.f"),))
+        waivers = {("m", "P.f", "stat:upgrades"): "known helper"}
+        assert reconcile([t], waivers, ext) == []
+
+    def test_missing_evidence_when_spec_overclaims(self):
+        ext = _extraction(set(), {"m": {"P.f"}})
+        t = _transition("t1", (Evidence("m", "P.f", ("send:INVALIDATE",)),))
+        findings = reconcile([t], {}, ext)
+        assert [f.kind for f in findings] == ["missing-evidence"]
+        assert "t1" in findings[0].detail
+
+    def test_missing_anchor_when_function_gone(self):
+        ext = _extraction(set(), {"m": set()})
+        t = _transition("t1", (Evidence("m", "P.gone"),))
+        findings = reconcile([t], {}, ext)
+        assert [f.kind for f in findings] == ["missing-anchor"]
+
+    def test_stale_waiver_flagged(self):
+        ext = _extraction(set(), {"m": {"P.f"}})
+        waivers = {("m", "P.f", "emit:gone"): "used to exist"}
+        findings = reconcile([], waivers, ext)
+        assert [f.kind for f in findings] == ["stale-waiver"]
+        assert "used to exist" in findings[0].detail
+
+
+class TestRepoReconciliation:
+    """The acceptance gate: the real spec matches the real code."""
+
+    def test_zero_unwaived_discrepancies(self):
+        extraction = extract_facts()
+        transitions = [t for spec in SPECS.values()
+                       for t in spec.transitions]
+        findings = reconcile(transitions, WAIVERS, extraction)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_every_coverage_signature_well_formed(self):
+        for spec in SPECS.values():
+            for t in spec.transitions:
+                assert t.coverage, f"{t.tid} has no coverage signature"
+                for sig in t.coverage:
+                    assert sig.startswith(("stat:", "emit:")), (t.tid, sig)
+
+    def test_transition_ids_unique_and_namespaced(self):
+        seen = set()
+        for name, spec in SPECS.items():
+            for t in spec.transitions:
+                assert t.tid.startswith(name + "."), t.tid
+                assert t.tid not in seen, f"duplicate tid {t.tid}"
+                seen.add(t.tid)

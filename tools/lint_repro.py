@@ -5,7 +5,10 @@ Every counter name passed as a string literal to a ``StatGroup`` method
 ``stats``, ``events``, or ``_stats``) must appear in
 ``repro.common.stats.STAT_KEYS``.  A typo'd key would otherwise create a
 dead counter silently — reads return 0.0 and writes land in a counter
-nobody reports.
+nobody reports.  Bound-method aliases are tracked too: after
+``stats_add = stats.add`` (the batched fast path hoists the lookup out
+of its hot loop), calls through the alias are linted like the method
+itself.
 
 Accepted key expressions:
 
@@ -24,6 +27,7 @@ Usage::
     python -m tools.lint_repro [paths...]   # default: src/repro
     python -m tools.lint_repro --trace-schema trace.jsonl [...]
     python -m tools.lint_repro --digest-schema .repro_cache/runs [...]
+    python -m tools.lint_repro --protocol
 
 ``--trace-schema`` switches to validating JSONL trace exports (from
 ``repro trace --format jsonl``) against the schema in
@@ -34,6 +38,12 @@ of cached run records — files or directories of ``*.json`` — against
 :func:`repro.obs.histogram.validate_digest`: an empty digest is exactly
 ``{"count": 0.0}``; a non-empty one carries count/mean/max/p50/p90/p99
 with monotonic percentiles and nothing else.
+
+``--protocol`` reconciles the coherence-protocol implementations against
+the declarative transition tables in :mod:`repro.verify.spec` (see
+``docs/VERIFICATION.md``): every protocol-visible effect the AST
+extractor recovers must be claimed by a spec transition or waived, and
+every spec claim must match real code.
 
 Exit status 1 when any violation is found.
 """
@@ -88,6 +98,8 @@ class StatKeyLinter(ast.NodeVisitor):
         self.lines = source.splitlines()
         self.registry = registry
         self.errors: List[Tuple[int, str]] = []
+        #: bare name -> aliased StatGroup method (``stats_add`` -> ``add``)
+        self.aliases: dict = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -122,10 +134,15 @@ class StatKeyLinter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        method = ""
         if (isinstance(func, ast.Attribute)
                 and func.attr in KEY_METHODS
                 and _receiver_name(func.value) in STAT_RECEIVERS):
-            for arg in node.args[:KEY_METHODS[func.attr]]:
+            method = func.attr
+        elif isinstance(func, ast.Name) and func.id in self.aliases:
+            method = self.aliases[func.id]
+        if method:
+            for arg in node.args[:KEY_METHODS[method]]:
                 self._check_key(arg)
         self.generic_visit(node)
 
@@ -138,6 +155,18 @@ class StatKeyLinter(ast.NodeVisitor):
                 and isinstance(node.value, ast.Dict)):
             for value in node.value.values:
                 self._check_key(value)
+        # Bound-method aliases (`stats_add = stats.add`): calls through
+        # the bare name are linted like the method itself.  A later
+        # rebind to anything else clears the alias.
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+            value = node.value
+            if (isinstance(value, ast.Attribute)
+                    and value.attr in KEY_METHODS
+                    and _receiver_name(value.value) in STAT_RECEIVERS):
+                self.aliases[target] = value.attr
+            else:
+                self.aliases.pop(target, None)
         self.generic_visit(node)
 
 
@@ -248,7 +277,33 @@ def check_digest_schema(paths: List[Path]) -> List[str]:
     return problems
 
 
+def check_protocol() -> List[str]:
+    """Reconcile the protocol implementations against their specs."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.verify.extract import extract_facts, reconcile
+    from repro.verify.spec import SPECS, WAIVERS
+
+    transitions = [t for spec in SPECS.values() for t in spec.transitions]
+    return [str(finding)
+            for finding in reconcile(transitions, WAIVERS, extract_facts())]
+
+
 def main(argv: List[str]) -> int:
+    if argv and argv[0] == "--protocol":
+        if argv[1:]:
+            print("lint_repro: --protocol takes no further arguments",
+                  file=sys.stderr)
+            return 2
+        problems = check_protocol()
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print("lint_repro: protocol spec and implementation agree")
+        return 0
     if argv and argv[0] == "--digest-schema":
         record_paths = [Path(arg) for arg in argv[1:]]
         if not record_paths:
