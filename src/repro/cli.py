@@ -16,6 +16,10 @@ Commands:
   resolves the newest committed ``BENCH_*.json``).
 * ``dashboard`` — render the sweep matrix, histogram digests, and
   comparison views into one self-contained static HTML file.
+* ``serve`` — run the sweep-as-a-service HTTP daemon: submit run
+  matrices over HTTP, drain them through a persistent job queue with
+  request coalescing, and serve cached records (ETag/304) plus a live
+  dashboard (see ``docs/SERVING.md``).
 * ``verify`` — reconcile both coherence protocols against their
   declarative specs (AST extraction), optionally model-check small
   configurations exhaustively and gate on runtime transition coverage.
@@ -236,8 +240,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import SweepError, get_matrix
+    from repro.experiments.runner import (
+        SweepError,
+        get_matrix,
+        reap_orphan_tmp,
+    )
 
+    reap_orphan_tmp()  # clear crash litter before adding our own writes
     workloads = None
     if args.workloads:
         workloads = [w.strip() for w in args.workloads.split(",")
@@ -372,6 +381,21 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         write_json(report, args.json_out)
         print(f"report JSON -> {args.json_out}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep-as-a-service daemon (see docs/SERVING.md)."""
+    import os
+
+    if args.cache_dir:
+        # The outermost default for every cache consumer in this
+        # process and its simulation workers.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    from repro.serve.app import serve_forever
+
+    return serve_forever(host=args.host, port=args.port,
+                         workers=args.workers,
+                         job_concurrency=args.job_concurrency)
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
@@ -592,6 +616,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the full verification report "
                                "JSON")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep-as-a-service HTTP daemon over the run cache")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="bind port (default 8765; 0 = ephemeral)")
+    serve_p.add_argument("--workers", type=int, default=0,
+                         help="simulation processes per job "
+                              "(0 = REPRO_JOBS or CPU count)")
+    serve_p.add_argument("--job-concurrency", type=int, default=2,
+                         help="jobs drained concurrently (default 2)")
+    serve_p.add_argument("--cache-dir", default="",
+                         help="run cache root (default REPRO_CACHE_DIR "
+                              "or ./.repro_cache)")
+
     dash_p = sub.add_parser(
         "dashboard",
         help="render sweep + telemetry + comparisons into static HTML")
@@ -641,6 +681,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "compare": _cmd_compare,
     "verify": _cmd_verify,
     "dashboard": _cmd_dashboard,
+    "serve": _cmd_serve,
 }
 
 

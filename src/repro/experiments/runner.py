@@ -23,13 +23,15 @@ import json
 import os
 import shutil
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.common.params import SystemConfig, all_configs
 from repro.experiments.records import RunRecord, record_from_outcome
 from repro.obs import runlog
-from repro.obs.progress import PROGRESS_DIR_ENV, SweepProgress
+from repro.obs.progress import SweepProgress
 from repro.sim.parallel import RunFailure, execute_runs
 from repro.sim.runner import (
     RunSpec,
@@ -45,6 +47,10 @@ Matrix = Dict[str, Dict[str, RunRecord]]
 #: bump when RunRecord's schema or the simulation semantics change
 #: (7: histogram telemetry digests joined the record)
 RUN_FORMAT = 7
+
+#: a ``<key>.json.*.tmp`` file older than this is crash litter, not an
+#: in-flight atomic write (writes complete in milliseconds)
+TMP_ORPHAN_AGE_S = 3600.0
 
 
 class SweepError(RuntimeError):
@@ -86,9 +92,13 @@ def runs_dir() -> Path:
     return path
 
 
-def _cache_key(workload: str, config_name: str, instructions: int,
-               seed: int, warmup: int) -> str:
-    """Key of one run record: every input that determines its numbers."""
+def run_cache_key(workload: str, config_name: str, instructions: int,
+                  seed: int, warmup: int) -> str:
+    """Key of one run record: every input that determines its numbers.
+
+    The key doubles as the record's content address on disk and as the
+    serving layer's ETag / coalescing identity.
+    """
     text = json.dumps({
         "workload": workload,
         "config": config_name,
@@ -100,10 +110,14 @@ def _cache_key(workload: str, config_name: str, instructions: int,
     return hashlib.sha256(text.encode()).hexdigest()[:24]
 
 
+#: backward-compatible alias (tests and older callers)
+_cache_key = run_cache_key
+
+
 def run_record_path(workload: str, config_name: str, instructions: int,
                     seed: int, warmup: int) -> Path:
     return runs_dir() / (
-        _cache_key(workload, config_name, instructions, seed, warmup)
+        run_cache_key(workload, config_name, instructions, seed, warmup)
         + ".json")
 
 
@@ -115,7 +129,7 @@ def _load_record(path: Path) -> Optional[RunRecord]:
         return None
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
+def atomic_write_json(path: Path, payload: dict) -> None:
     """Write via a sibling temp file + ``os.replace`` so readers only
     ever see absent or complete files, even across a mid-write kill."""
     fd, tmp = tempfile.mkstemp(dir=str(path.parent),
@@ -132,11 +146,200 @@ def _atomic_write_json(path: Path, payload: dict) -> None:
         raise
 
 
+#: backward-compatible alias
+_atomic_write_json = atomic_write_json
+
+
+def reap_orphan_tmp(directory: Optional[Path] = None,
+                    max_age_s: float = TMP_ORPHAN_AGE_S) -> List[Path]:
+    """Remove stale ``*.tmp`` litter left by killed atomic writers.
+
+    A SIGKILL between ``mkstemp`` and ``os.replace`` strands a
+    ``<name>.<random>.tmp`` sibling that nothing else ever touches.
+    Anything matching ``*.tmp`` in ``directory`` (default: the run-record
+    cache) whose mtime is older than ``max_age_s`` is deleted; younger
+    files are left alone — they may be a live writer mid-flight.
+    Runs at ``repro sweep`` entry and daemon startup.  Returns the paths
+    it removed.
+    """
+    target = directory if directory is not None else runs_dir()
+    removed: List[Path] = []
+    now = time.time()
+    try:
+        candidates = sorted(target.glob("*.tmp"))
+    except OSError:
+        return removed
+    for path in candidates:
+        try:
+            if now - path.stat().st_mtime < max_age_s:
+                continue
+            path.unlink()
+        except OSError:
+            continue  # vanished or unreadable: someone else's problem
+        removed.append(path)
+    if removed:
+        runlog.emit("cache.reap_tmp", directory=str(target),
+                    removed=len(removed))
+    return removed
+
+
 def _simulate_record(spec: RunSpec) -> dict:
     """Worker task: one run, returned as a JSON-ready record payload."""
     category = get_spec(spec.workload).category
     outcome = run_spec(spec)
     return record_from_outcome(outcome, category).to_json()
+
+
+@dataclass
+class PendingRun:
+    """One not-yet-cached cell of a sweep plan."""
+
+    spec: RunSpec
+    path: Path
+    key: str
+
+
+@dataclass
+class SweepPlan:
+    """The cached/pending split of one run matrix request.
+
+    Built by :func:`plan_matrix` and consumed by :func:`execute_plan`.
+    All state is per-plan (no globals, no environment mutation), so any
+    number of plans can be built and executed concurrently in one
+    process — the property the serving daemon leans on.
+    """
+
+    workloads: List[str]
+    configs: List[SystemConfig]
+    instructions: int
+    seed: int
+    warmup: int
+    matrix: Matrix = field(default_factory=dict)
+    pending: List[PendingRun] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.workloads) * len(self.configs)
+
+    @property
+    def cached(self) -> int:
+        return self.total - len(self.pending)
+
+
+def plan_matrix(workloads: Optional[Iterable[str]] = None,
+                configs: Optional[Iterable[SystemConfig]] = None,
+                instructions: int = 0, seed: int = 1,
+                sanitize: bool = False, sanitize_every: int = 0,
+                check_invariants: bool = False,
+                telemetry: bool = True,
+                fresh: Optional[bool] = None,
+                warmup: Optional[int] = None) -> SweepPlan:
+    """Split a matrix request into cached records and pending runs.
+
+    Loads every already-cached record into ``plan.matrix`` and lists the
+    rest as :class:`PendingRun`s.  A cached record that lacks a
+    requested check (``sanitize``/``check_invariants``/``telemetry``) is
+    a miss.  ``fresh=None`` defaults from ``REPRO_FRESH``;
+    ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` or
+    the default fraction, while an explicit value pins the cache keys
+    regardless of the environment (the daemon does this per request).
+    """
+    workload_list = list(workloads) if workloads else sweep_workloads()
+    config_list = list(configs) if configs else list(all_configs())
+    budget = instructions or instruction_budget()
+    if warmup is None:
+        warmup = warmup_budget(budget)
+    if fresh is None:
+        fresh = bool(os.environ.get("REPRO_FRESH"))
+
+    plan = SweepPlan(workloads=workload_list, configs=config_list,
+                     instructions=budget, seed=seed, warmup=warmup,
+                     matrix={wl: {} for wl in workload_list})
+    for workload in workload_list:
+        get_spec(workload)  # unknown workloads fail before any simulation
+        for config in config_list:
+            key = run_cache_key(workload, config.name, budget, seed, warmup)
+            path = runs_dir() / (key + ".json")
+            record = None if fresh else _load_record(path)
+            if record is not None and ((sanitize and not record.sanitized) or
+                                       (check_invariants
+                                        and not record.invariants_checked) or
+                                       (telemetry and not record.hists)):
+                record = None  # cached run skipped a requested check
+            if record is None:
+                plan.pending.append(PendingRun(
+                    RunSpec(config, workload, budget, seed, warmup=warmup,
+                            sanitize=sanitize, sanitize_every=sanitize_every,
+                            check_invariants=check_invariants,
+                            telemetry=telemetry),
+                    path, key))
+            else:
+                plan.matrix[workload][config.name] = record
+    return plan
+
+
+def execute_plan(plan: SweepPlan, jobs: Optional[int] = None,
+                 quiet: bool = False,
+                 heartbeat_dir: Optional[str] = None,
+                 jsonl_path: Optional[str] = None,
+                 on_record: Optional[Callable[[PendingRun, RunRecord],
+                                              None]] = None
+                 ) -> List[RunFailure]:
+    """Simulate a plan's pending runs, persisting each as it lands.
+
+    Fills ``plan.matrix`` in place and returns the failures (empty on a
+    clean sweep).  ``heartbeat_dir`` is threaded explicitly through
+    :func:`~repro.sim.parallel.execute_runs` into the workers — never
+    via process-global environment mutation — so concurrent
+    ``execute_plan`` calls in one process keep separate heartbeat
+    directories.  When ``None``, a throwaway directory under the cache
+    is created and cleaned up.  ``on_record`` fires in the calling
+    process after each record is written (the daemon resolves coalesced
+    waiters from it).
+    """
+    if not plan.pending:
+        return []
+    runlog.emit("sweep.start", pending=len(plan.pending),
+                cached=plan.cached, workloads=len(plan.workloads),
+                configs=len(plan.configs))
+    pending = list(plan.pending)
+    specs = [item.spec for item in pending]
+
+    def persist(index: int, payload: dict) -> None:
+        item = pending[index]
+        atomic_write_json(item.path, payload)
+        record = RunRecord.from_json(payload)
+        plan.matrix[item.spec.workload][item.spec.config.name] = record
+        if on_record is not None:
+            on_record(item, record)
+
+    owns_heartbeat_dir = heartbeat_dir is None
+    if owns_heartbeat_dir:
+        heartbeat_dir = tempfile.mkdtemp(prefix="progress-",
+                                         dir=str(cache_dir()))
+    sweep_progress = SweepProgress(
+        total=len(pending),
+        stream=io.StringIO() if quiet else None,
+        jsonl_path=(jsonl_path if jsonl_path is not None
+                    else str(cache_dir() / "progress.jsonl")),
+        heartbeat_dir=heartbeat_dir,
+        inplace=False if quiet else None,
+    )
+
+    def report(done: int, total: int, spec: RunSpec) -> None:
+        sweep_progress.run_done(done, total, spec.workload,
+                                spec.config.name)
+
+    try:
+        with sweep_progress:
+            _, failures = execute_runs(specs, _simulate_record, jobs=jobs,
+                                       progress=report, on_result=persist,
+                                       heartbeat_dir=heartbeat_dir)
+    finally:
+        if owns_heartbeat_dir and heartbeat_dir:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
+    runlog.emit("sweep.end", pending=len(pending), failures=len(failures))
+    return failures
 
 
 def get_matrix(workloads: Optional[Iterable[str]] = None,
@@ -167,81 +370,20 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
     per-run completion lines (or an in-place line on a TTY, fed by
     worker heartbeats) plus a machine-readable ``progress.jsonl`` in the
     cache directory.  ``quiet`` silences the terminal rendering only.
+
+    This is a thin composition of :func:`plan_matrix` and
+    :func:`execute_plan`; long-lived callers (the serving daemon) use
+    those directly for per-job heartbeat directories and coalescing.
     """
-    workload_list = list(workloads) if workloads else sweep_workloads()
-    config_list = list(configs) if configs else list(all_configs())
-    budget = instructions or instruction_budget()
-    warmup = warmup_budget(budget)
-    fresh = bool(os.environ.get("REPRO_FRESH"))
-
-    matrix: Matrix = {wl: {} for wl in workload_list}
-    pending: List[Tuple[RunSpec, Path]] = []
-    for workload in workload_list:
-        get_spec(workload)  # unknown workloads fail before any simulation
-        for config in config_list:
-            path = run_record_path(workload, config.name, budget, seed,
-                                   warmup)
-            record = None if fresh else _load_record(path)
-            if record is not None and ((sanitize and not record.sanitized) or
-                                       (check_invariants
-                                        and not record.invariants_checked) or
-                                       (telemetry and not record.hists)):
-                record = None  # cached run skipped a requested check
-            if record is None:
-                pending.append(
-                    (RunSpec(config, workload, budget, seed, warmup=warmup,
-                             sanitize=sanitize, sanitize_every=sanitize_every,
-                             check_invariants=check_invariants,
-                             telemetry=telemetry),
-                     path))
-            else:
-                matrix[workload][config.name] = record
-
-    if pending:
-        paths = [path for _, path in pending]
-        specs = [spec for spec, _ in pending]
-        runlog.emit("sweep.start", pending=len(pending),
-                    cached=len(workload_list) * len(config_list)
-                    - len(pending),
-                    workloads=len(workload_list), configs=len(config_list))
-
-        def persist(index: int, payload: dict) -> None:
-            _atomic_write_json(paths[index], payload)
-            spec = specs[index]
-            matrix[spec.workload][spec.config.name] = RunRecord.from_json(
-                payload)
-
-        heartbeat_dir = tempfile.mkdtemp(prefix="progress-",
-                                         dir=str(cache_dir()))
-        previous_dir = os.environ.get(PROGRESS_DIR_ENV)
-        os.environ[PROGRESS_DIR_ENV] = heartbeat_dir
-        sweep_progress = SweepProgress(
-            total=len(pending),
-            stream=io.StringIO() if quiet else None,
-            jsonl_path=str(cache_dir() / "progress.jsonl"),
-            heartbeat_dir=heartbeat_dir,
-            inplace=False if quiet else None,
-        )
-
-        def report(done: int, total: int, spec: RunSpec) -> None:
-            sweep_progress.run_done(done, total, spec.workload,
-                                    spec.config.name)
-
-        try:
-            with sweep_progress:
-                _, failures = execute_runs(specs, _simulate_record, jobs=jobs,
-                                           progress=report, on_result=persist)
-        finally:
-            if previous_dir is None:
-                os.environ.pop(PROGRESS_DIR_ENV, None)
-            else:
-                os.environ[PROGRESS_DIR_ENV] = previous_dir
-            shutil.rmtree(heartbeat_dir, ignore_errors=True)
-        runlog.emit("sweep.end", pending=len(pending),
-                    failures=len(failures))
-        if failures:
-            raise SweepError(failures)
-    return matrix
+    plan = plan_matrix(workloads=workloads, configs=configs,
+                       instructions=instructions, seed=seed,
+                       sanitize=sanitize, sanitize_every=sanitize_every,
+                       check_invariants=check_invariants,
+                       telemetry=telemetry)
+    failures = execute_plan(plan, jobs=jobs, quiet=quiet)
+    if failures:
+        raise SweepError(failures)
+    return plan.matrix
 
 
 def by_category(matrix: Matrix) -> Dict[str, List[str]]:

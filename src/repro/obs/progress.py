@@ -20,19 +20,61 @@ live heartbeats into
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sys
 import threading
 import time
 from pathlib import Path
-from typing import IO, Dict, List, Optional
+from typing import IO, Dict, Iterator, List, Optional
 
 #: env var naming the heartbeat directory workers write into
 PROGRESS_DIR_ENV = "REPRO_PROGRESS_DIR"
 
+#: env var capping ``progress.jsonl`` before rotation (bytes)
+PROGRESS_MAX_BYTES_ENV = "REPRO_PROGRESS_MAX_BYTES"
+
+#: default ``progress.jsonl`` rotation threshold (bytes)
+PROGRESS_JSONL_MAX_BYTES = 4 * 1024 * 1024
+
 #: minimum seconds between two heartbeat writes of one worker
 HEARTBEAT_INTERVAL_S = 0.5
+
+# Thread-local heartbeat-dir override.  Concurrent sweeps in one process
+# (e.g. two daemon jobs draining at once) each thread their own
+# directory through here instead of racing on the process-global
+# environment variable; the env var stays the *outermost* default for
+# worker processes, which inherit it at fork/spawn.
+_LOCAL = threading.local()
+
+
+@contextlib.contextmanager
+def heartbeat_dir_override(directory: Optional[str]) -> Iterator[None]:
+    """Scope a heartbeat directory to the current thread.
+
+    Within the context, :func:`resolve_heartbeat_dir` (and therefore
+    :meth:`Heartbeat.from_env`) prefers ``directory`` over
+    ``REPRO_PROGRESS_DIR``.  ``None`` is a no-op context so callers can
+    wrap unconditionally.
+    """
+    if directory is None:
+        yield
+        return
+    previous = getattr(_LOCAL, "directory", None)
+    _LOCAL.directory = directory
+    try:
+        yield
+    finally:
+        _LOCAL.directory = previous
+
+
+def resolve_heartbeat_dir() -> str:
+    """The heartbeat directory for this thread: override, else env."""
+    override = getattr(_LOCAL, "directory", None)
+    if override:
+        return str(override)
+    return os.environ.get(PROGRESS_DIR_ENV, "")
 
 #: a heartbeat file untouched this long is stale even if its PID lives
 #: (a wedged worker holds its PID but stops beating)
@@ -69,8 +111,13 @@ class Heartbeat:
 
     @staticmethod
     def from_env(label: str) -> Optional["Heartbeat"]:
-        """A heartbeat when ``REPRO_PROGRESS_DIR`` is set, else None."""
-        directory = os.environ.get(PROGRESS_DIR_ENV, "")
+        """A heartbeat when a progress directory is configured, else None.
+
+        The thread-local override installed by
+        :func:`heartbeat_dir_override` wins over ``REPRO_PROGRESS_DIR``,
+        so concurrent in-process sweeps stay in their own directories.
+        """
+        directory = resolve_heartbeat_dir()
         if not directory or not os.path.isdir(directory):
             return None
         path = os.path.join(directory, f"hb-{os.getpid()}.json")
@@ -149,11 +196,14 @@ class SweepProgress:
                  jsonl_path: Optional[str] = None,
                  heartbeat_dir: Optional[str] = None,
                  inplace: Optional[bool] = None,
-                 refresh_s: float = 1.0) -> None:
+                 refresh_s: float = 1.0,
+                 jsonl_max_bytes: Optional[int] = None) -> None:
         self.total = total
         self.done = 0
         self.stream = stream if stream is not None else sys.stderr
         self.jsonl_path = jsonl_path
+        self.jsonl_max_bytes = (jsonl_max_bytes if jsonl_max_bytes is not None
+                                else progress_jsonl_max_bytes())
         self.heartbeat_dir = heartbeat_dir
         if inplace is None:
             inplace = bool(getattr(self.stream, "isatty", lambda: False)())
@@ -300,10 +350,42 @@ class SweepProgress:
         record = dict(payload)
         record.setdefault("ts", round(time.time(), 3))
         try:
+            rotate_jsonl(self.jsonl_path, self.jsonl_max_bytes)
             with open(self.jsonl_path, "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(record) + "\n")
         except OSError:
             pass
+
+
+def progress_jsonl_max_bytes() -> int:
+    """Rotation cap for ``progress.jsonl`` (env-overridable, 0 = off)."""
+    value = os.environ.get(PROGRESS_MAX_BYTES_ENV, "")
+    if value:
+        try:
+            return max(0, int(value))
+        except ValueError:
+            pass
+    return PROGRESS_JSONL_MAX_BYTES
+
+
+def rotate_jsonl(path: str, max_bytes: int) -> bool:
+    """Rotate ``path`` to ``path + ".1"`` once it exceeds ``max_bytes``.
+
+    Keeps at most the current file plus one rotated generation, so a
+    long-running daemon's progress stream is bounded by ``2 *
+    max_bytes`` (plus one record) instead of growing forever.  Returns
+    True when a rotation happened.  ``max_bytes <= 0`` disables
+    rotation.
+    """
+    if max_bytes <= 0:
+        return False
+    try:
+        if os.path.getsize(path) < max_bytes:
+            return False
+        os.replace(path, path + ".1")
+        return True
+    except OSError:
+        return False  # absent file, or a racing rotator won; both fine
 
 
 def _format_eta(seconds: float) -> str:

@@ -457,8 +457,51 @@ def render_dashboard(matrix: Mapping[str, Mapping[str, object]],
             + "\n</body>\n</html>\n")
 
 
+def dashboard_from_records(records: Sequence[Mapping[str, object]],
+                           title: str = "repro observability dashboard",
+                           subtitle: str = "") -> str:
+    """A dashboard assembled from loose run records (the serving path).
+
+    ``repro dashboard`` writes a file from a sweep it just ran; the
+    daemon's ``GET /dashboard`` instead renders whatever the run cache
+    holds *right now*.  ``records`` are RunRecord objects or their JSON
+    dicts in any order; the focus cell is the first (workload, config)
+    carrying histogram digests, so the panels are populated whenever
+    any record can populate them.  An empty cache renders a valid page
+    saying so rather than erroring.
+    """
+    matrix: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        workload = str(_rget(record, "workload", ""))
+        config = str(_rget(record, "config", ""))
+        if workload and config:
+            matrix.setdefault(workload, {})[config] = record
+    focus = ("", "")
+    for workload in sorted(matrix):
+        for config in matrix[workload]:
+            if focus == ("", ""):
+                focus = (workload, config)
+            hists = _rget(matrix[workload][config], "hists", {})
+            if isinstance(hists, Mapping) and hists:
+                focus = (workload, config)
+                break
+        else:
+            continue
+        break
+    if not matrix:
+        return ("<!DOCTYPE html>\n<html lang=\"en\"><head>"
+                "<meta charset=\"utf-8\">"
+                f"<title>{esc(title)}</title><style>{_CSS}</style></head>"
+                f"<body><h1>{esc(title)}</h1><p class=\"note\">the run "
+                "cache holds no records yet; POST a matrix to /runs "
+                "first.</p></body></html>\n")
+    return render_dashboard(matrix, focus=focus, title=title,
+                            subtitle=subtitle)
+
+
 __all__ = [
     "comparison_section",
+    "dashboard_from_records",
     "delta_table",
     "digest_panels",
     "render_dashboard",

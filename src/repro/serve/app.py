@@ -1,0 +1,472 @@
+"""The asyncio HTTP daemon: routing, job drain loop, worker fan-out.
+
+Stdlib only: a hand-rolled HTTP/1.1 server on ``asyncio.start_server``
+(``Connection: close`` per request — the clients are sweep scripts and
+CI curls, not browsers hammering keep-alive).  Simulation never runs on
+the event loop: jobs drain through a small number of concurrent job
+tasks, each of which plans against the run cache, claims its pending
+cells in the :class:`~repro.serve.coalesce.Coalescer`, and executes the
+owned cells via :func:`~repro.experiments.runner.execute_plan` (and
+thus the :mod:`repro.sim.parallel` process pool) inside a thread
+executor.  Results land on disk first (atomic run records), then fan
+out to coalesced waiters via ``call_soon_threadsafe``.
+
+The serving layer sits entirely *beside* the simulation hot path: a
+run simulated through the daemon executes exactly the code path
+``repro sweep`` uses, with zero per-access overhead added.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import shutil
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import (
+    PendingRun,
+    RunRecord,
+    SweepPlan,
+    cache_dir,
+    execute_plan,
+    plan_matrix,
+    reap_orphan_tmp,
+)
+from repro.obs import runlog
+from repro.obs.render import dashboard_from_records
+from repro.serve import handlers
+from repro.serve.coalesce import Coalescer
+from repro.serve.queue import Job, JobCell, JobQueue, make_job
+
+#: concurrent job-runner tasks (simulation parallelism lives below
+#: this, in each job's process pool)
+JOB_CONCURRENCY = 2
+
+#: request hygiene limits
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_LINES = 64
+
+_REASONS = {200: "OK", 201: "Created", 304: "Not Modified",
+            400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+def _version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+class ServeApp:
+    """Daemon state: queue, coalescer, counters, and the HTTP surface.
+
+    ``workers`` caps each job's simulation process pool (0 = the
+    executor's ``REPRO_JOBS``/CPU default).  The cache root defaults to
+    :func:`repro.experiments.runner.cache_dir` — i.e. honors
+    ``REPRO_CACHE_DIR``, which ``repro serve --cache-dir`` sets before
+    constructing the app.
+    """
+
+    def __init__(self, cache_root: Optional[Path] = None, workers: int = 0,
+                 job_concurrency: int = JOB_CONCURRENCY) -> None:
+        self.cache_root = Path(cache_root) if cache_root else cache_dir()
+        self.runs_dir = self.cache_root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.queue = JobQueue(self.cache_root / "queue")
+        self.coalescer = Coalescer()
+        self.workers = workers
+        self.job_concurrency = max(1, job_concurrency)
+        self.simulations = 0          # runs this daemon actually executed
+        self.recovered_jobs: List[str] = []
+        self._wake = asyncio.Event()
+        self._drainers: List["asyncio.Task[None]"] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    drain: bool = True) -> asyncio.AbstractServer:
+        """Recover the queue, start drainers, bind the HTTP server.
+
+        ``drain=False`` accepts and persists submissions without
+        executing them (tests use it to stage a queue for a restart).
+        """
+        reap_orphan_tmp()
+        self.recovered_jobs = self.queue.recover()
+        if self.recovered_jobs:
+            runlog.emit("serve.recover", jobs=self.recovered_jobs)
+        if drain:
+            self._drainers = [
+                asyncio.ensure_future(self._drain_loop(index))
+                for index in range(self.job_concurrency)]
+            self._wake.set()  # pick up anything already queued
+        self._server = await asyncio.start_server(self._handle_client,
+                                                  host=host, port=port)
+        return self._server
+
+    async def stop(self) -> None:
+        for task in self._drainers:
+            task.cancel()
+        for task in self._drainers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                pass
+        self._drainers = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    # ------------------------------------------------------------ draining
+
+    async def _drain_loop(self, index: int) -> None:
+        while True:
+            job = self._claim_next()
+            if job is None:
+                self._wake.clear()
+                try:
+                    # The timeout also picks up jobs written into the
+                    # queue directory from outside this process.
+                    await asyncio.wait_for(self._wake.wait(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # a broken job must not kill the loop
+                job.state = "failed"
+                job.error = f"internal error: {exc}"
+                self.queue.save(job)
+                runlog.emit("serve.job_error", job=job.id, error=str(exc))
+
+    def _claim_next(self) -> Optional[Job]:
+        # Single-threaded on the event loop with no await between the
+        # scan and the save, so two drainers cannot claim one job.
+        job = self.queue.next_pending()
+        if job is not None:
+            job.state = "running"
+            self.queue.save(job)
+        return job
+
+    def heartbeat_dir_for(self, job_id: str) -> Path:
+        return self.queue.directory / f"hb-{job_id}"
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        request = job.request
+        runlog.emit("serve.job_start", job=job.id, cells=len(job.cells))
+        _, configs = handlers.parse_submission(dict(request))
+        plan: SweepPlan = await loop.run_in_executor(None, lambda: plan_matrix(
+            workloads=list(request["workloads"]),  # type: ignore[arg-type]
+            configs=configs,
+            instructions=int(request["instructions"]),  # type: ignore[arg-type]
+            seed=int(request["seed"]),  # type: ignore[arg-type]
+            warmup=int(request["warmup"]),  # type: ignore[arg-type]
+        ))
+
+        cells = {cell.key: cell for cell in job.cells}
+        for workload, row in plan.matrix.items():
+            for config_name in row:
+                key = _cell_key(cells, workload, config_name)
+                if key is not None:
+                    cells[key].state = "cached"
+
+        owned: List[PendingRun] = []
+        waited: Dict[str, "asyncio.Future[object]"] = {}
+        for item in plan.pending:
+            is_owner, future = self.coalescer.claim(item.key)
+            if is_owner:
+                owned.append(item)
+            else:
+                waited[item.key] = future
+        self.queue.save(job)
+
+        failures_by_key: Dict[str, str] = {}
+        if owned:
+            sub_plan = SweepPlan(workloads=plan.workloads,
+                                 configs=plan.configs,
+                                 instructions=plan.instructions,
+                                 seed=plan.seed, warmup=plan.warmup,
+                                 matrix=plan.matrix, pending=owned)
+            hb_dir = self.heartbeat_dir_for(job.id)
+            hb_dir.mkdir(parents=True, exist_ok=True)
+
+            def on_record(item: PendingRun, record: RunRecord) -> None:
+                # executor thread → loop thread: disk write already
+                # happened (execute_plan persists before this fires).
+                loop.call_soon_threadsafe(self._record_landed, job, cells,
+                                          item.key, record)
+
+            try:
+                failures = await loop.run_in_executor(
+                    None, lambda: execute_plan(
+                        sub_plan, jobs=self.workers or None, quiet=True,
+                        heartbeat_dir=str(hb_dir),
+                        jsonl_path=str(self.cache_root / "progress.jsonl"),
+                        on_record=on_record))
+            finally:
+                shutil.rmtree(hb_dir, ignore_errors=True)
+                # Any owned key not resolved by on_record (failed run,
+                # or execute_plan itself blew up) must release its
+                # waiters.
+                for item in owned:
+                    self.coalescer.fail(
+                        item.key, f"run {item.spec.workload} on "
+                                  f"{item.spec.config.name} did not "
+                                  f"complete")
+            for failure in failures:
+                for item in owned:
+                    if (item.spec.workload == failure.workload
+                            and item.spec.config.name == failure.config):
+                        failures_by_key[item.key] = failure.summary()
+
+        for key, future in waited.items():
+            try:
+                await future
+            except Exception as exc:
+                failures_by_key.setdefault(key, str(exc))
+            else:
+                if cells[key].state == "pending":
+                    cells[key].state = "coalesced"
+
+        for key, cell in cells.items():
+            if key in failures_by_key:
+                cell.state = "failed"
+            elif cell.state == "pending":
+                # Owned cells resolve through _record_landed; a cell
+                # still pending here raced a concurrent completion —
+                # the record is on disk, so it is served, not lost.
+                cell.state = "simulated"
+        if failures_by_key:
+            job.state = "failed"
+            job.error = "; ".join(
+                f"{cells[key].workload} on {cells[key].config}: {message}"
+                for key, message in sorted(failures_by_key.items()))
+        else:
+            job.state = "done"
+        self.queue.save(job)
+        runlog.emit("serve.job_end", job=job.id, state=job.state,
+                    simulated=sum(1 for cell in job.cells
+                                  if cell.state == "simulated"))
+        self._wake.set()
+
+    def _record_landed(self, job: Job, cells: Dict[str, JobCell],
+                       key: str, record: RunRecord) -> None:
+        self.simulations += 1
+        self.coalescer.resolve(key, record)
+        cell = cells.get(key)
+        if cell is not None and cell.state == "pending":
+            cell.state = "simulated"
+            self.queue.save(job)
+
+    # ------------------------------------------------------------ HTTP
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers, body = await _read_request(reader)
+            except _HttpError as exc:
+                await _respond(writer, exc.status,
+                               {"error": exc.message})
+                return
+            status, payload, extra = await self._dispatch(method, path,
+                                                          headers, body)
+            await _respond(writer, status, payload, extra)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str], body: bytes
+                        ) -> Tuple[int, object, Dict[str, str]]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return 200, self._health_payload(), {}
+        if path == "/runs" and method == "POST":
+            return self._submit(body)
+        if path.startswith("/runs/") and method == "GET":
+            return self._job_status(path[len("/runs/"):])
+        if path.startswith("/records/") and method == "GET":
+            key = path[len("/records/"):]
+            status, etag, raw = handlers.record_response(
+                self.runs_dir, key, headers.get("if-none-match", ""))
+            if status == 200:
+                return 200, raw, {"ETag": etag,
+                                  "Content-Type": "application/json"}
+            if status == 304:
+                return 304, b"", {"ETag": etag}
+            if status == 400:
+                return 400, {"error": f"malformed record key {key!r}"}, {}
+            return 404, {"error": f"no cached record {key!r}"}, {}
+        if path == "/dashboard" and method == "GET":
+            html = await asyncio.get_running_loop().run_in_executor(
+                None, self._dashboard_html)
+            return 200, html.encode("utf-8"), {
+                "Content-Type": "text/html; charset=utf-8"}
+        if path in ("/healthz", "/runs", "/dashboard") \
+                or path.startswith(("/runs/", "/records/")):
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no such endpoint {path!r}"}, {}
+
+    def _health_payload(self) -> dict:
+        return {
+            "ok": True,
+            "version": _version(),
+            "jobs": self.queue.counts(),
+            "simulations": self.simulations,
+            "inflight": len(self.coalescer),
+        }
+
+    def _submit(self, body: bytes) -> Tuple[int, object, Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body is not valid JSON"}, {}
+        try:
+            request, configs = handlers.parse_submission(payload)
+        except handlers.BadRequest as exc:
+            return 400, {"error": str(exc)}, {}
+        job = make_job(request, handlers.build_cells(request, configs))
+        self.queue.submit(job)
+        self._wake.set()
+        runlog.emit("serve.submit", job=job.id, cells=len(job.cells))
+        return 201, handlers.job_payload(job), {
+            "Location": f"/runs/{job.id}"}
+
+    def _job_status(self, job_id: str) -> Tuple[int, object,
+                                                Dict[str, str]]:
+        if not job_id.isalnum():
+            return 400, {"error": f"malformed job id {job_id!r}"}, {}
+        job = self.queue.load(job_id)
+        if job is None:
+            return 404, {"error": f"no such job {job_id!r}"}, {}
+        return 200, handlers.job_payload(
+            job, heartbeat_dir=self.heartbeat_dir_for(job_id),
+            progress_path=self.cache_root / "progress.jsonl"), {}
+
+    def _dashboard_html(self) -> str:
+        records = handlers.load_all_records(self.runs_dir)
+        return dashboard_from_records(
+            records, subtitle=f"served live from {self.runs_dir} "
+                              f"({len(records)} cached records)")
+
+
+def _cell_key(cells: Dict[str, JobCell], workload: str,
+              config_name: str) -> Optional[str]:
+    for key, cell in cells.items():
+        if cell.workload == workload and cell.config == config_name:
+            return key
+    return None
+
+
+# ---------------------------------------------------------------- HTTP io
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Dict[str, str], bytes]:
+    line = await reader.readline()
+    if not line:
+        raise _HttpError(400, "empty request")
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _HttpError(400, "malformed request line")
+    method, path, _ = parts
+    headers: Dict[str, str] = {}
+    for _count in range(MAX_HEADER_LINES):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _HttpError(400, "too many headers")
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    return method.upper(), path, headers, body
+
+
+async def _respond(writer: asyncio.StreamWriter, status: int,
+                   payload: object,
+                   extra: Optional[Dict[str, str]] = None) -> None:
+    headers = dict(extra or {})
+    if isinstance(payload, bytes):
+        body = payload
+        headers.setdefault("Content-Type", "application/octet-stream")
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        headers.setdefault("Content-Type", "application/json")
+    if status == 304:
+        body = b""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+# ---------------------------------------------------------------- CLI entry
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 8765,
+                  workers: int = 0,
+                  job_concurrency: int = JOB_CONCURRENCY) -> int:
+    """Run the daemon until interrupted (the ``repro serve`` body)."""
+
+    async def _amain() -> int:
+        app = ServeApp(workers=workers, job_concurrency=job_concurrency)
+        server = await app.start(host=host, port=port)
+        bound = server.sockets[0].getsockname()
+        print(f"repro serve: http://{bound[0]}:{bound[1]} "
+              f"(cache {app.cache_root}, workers "
+              f"{workers or 'auto'}, {app.job_concurrency} job lane(s)"
+              + (f", recovered {len(app.recovered_jobs)} job(s)"
+                 if app.recovered_jobs else "") + ")")
+        print("endpoints: POST /runs, GET /runs/<id>, GET /records/<key>, "
+              "GET /dashboard, GET /healthz")
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await app.stop()
+        return 0
+
+    try:
+        return asyncio.run(_amain())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, queue state persisted")
+        return 0

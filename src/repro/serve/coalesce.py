@@ -1,0 +1,58 @@
+"""Request coalescing: one simulation per in-flight run cache key.
+
+Two jobs asking for the same ``(workload, config, instructions, seed,
+warmup)`` cell share one cache key (see
+:func:`repro.experiments.runner.run_cache_key`).  The first job to
+claim a key *owns* it and simulates; every later claimant gets the
+owner's future and just awaits.  The owner resolves (or fails) the
+future as the run lands, fanning one result out to all waiters — so N
+identical submissions, in flight or queued, cost exactly one
+simulation on top of the disk cache.
+
+The registry lives on the event loop: :meth:`claim` and
+:meth:`resolve`/:meth:`fail` must be called from the loop thread
+(worker threads hand results back via ``call_soon_threadsafe``, which
+the app does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple
+
+
+class Coalescer:
+    """In-flight run registry keyed by run cache key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future[object]"] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def claim(self, key: str) -> Tuple[bool, "asyncio.Future[object]"]:
+        """``(owned, future)``: ``owned`` is True when the caller must
+        simulate this key; False means another job already is — await
+        the shared future instead."""
+        future = self._inflight.get(key)
+        if future is not None:
+            return False, future
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return True, future
+
+    def resolve(self, key: str, result: object) -> None:
+        """Owner callback: the run landed; fan ``result`` out."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def fail(self, key: str, message: str) -> None:
+        """Owner callback: the run failed; waiters see the message.
+
+        Failures resolve to an exception so every waiting job marks the
+        cell failed rather than hanging forever.
+        """
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(RuntimeError(message))

@@ -1,0 +1,159 @@
+"""Persistent job queue under ``.repro_cache/queue/``.
+
+One job = one submitted run matrix, stored as ``<id>.json`` with the
+same ``tempfile`` + ``os.replace`` atomic-write discipline as run
+records: readers only ever see absent or complete job files, even
+across a mid-write kill.  The queue directory *is* the durable state —
+a daemon restart calls :meth:`JobQueue.recover`, which re-marks jobs
+interrupted mid-``running`` as ``pending``; their already-simulated
+cells are found in the run cache on re-execution, so nothing is lost
+and nothing runs twice.
+
+Jobs drain oldest-first (``created_ts``, then id, so ordering is total
+even within one timestamp tick).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import atomic_write_json
+from repro.serve.schema import CELL_STATES, JOB_STATES
+
+
+@dataclass
+class JobCell:
+    """One (workload, config) cell of a job's run matrix."""
+
+    workload: str
+    config: str
+    key: str               # run cache key = record address = ETag
+    state: str = "pending"  # one of schema.CELL_STATES
+
+    def __post_init__(self) -> None:
+        if self.state not in CELL_STATES:
+            raise ValueError(f"bad cell state {self.state!r}")
+
+
+@dataclass
+class Job:
+    """A submitted run matrix and its per-cell progress."""
+
+    id: str
+    state: str
+    created_ts: float
+    request: Dict[str, object]
+    cells: List[JobCell] = field(default_factory=list)
+    error: str = ""
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(f"bad job state {self.state!r}")
+
+    @property
+    def done_cells(self) -> int:
+        return sum(1 for cell in self.cells
+                   if cell.state in ("cached", "simulated", "coalesced"))
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["done_cells"] = self.done_cells
+        payload["total_cells"] = len(self.cells)
+        return payload
+
+    @staticmethod
+    def from_json(data: dict) -> "Job":
+        cells = [JobCell(**cell) for cell in data.get("cells", [])]
+        return Job(id=data["id"], state=data["state"],
+                   created_ts=float(data["created_ts"]),
+                   request=dict(data["request"]), cells=cells,
+                   error=str(data.get("error", "")))
+
+
+def new_job_id() -> str:
+    """A fresh, unguessable-enough job id (not content-addressed:
+    identical submissions are distinct jobs; dedup happens per cell)."""
+    return uuid.uuid4().hex[:12]
+
+
+class JobQueue:
+    """Directory-backed job store with atomic writes and recovery."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- storage
+
+    def _path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def save(self, job: Job) -> None:
+        atomic_write_json(self._path(job.id), job.to_json())
+
+    def submit(self, job: Job) -> None:
+        self.save(job)
+
+    def load(self, job_id: str) -> Optional[Job]:
+        """The stored job, or None when absent/corrupt (treated as a
+        miss, mirroring the run-record cache)."""
+        try:
+            data = json.loads(self._path(job_id).read_text(encoding="utf-8"))
+            return Job.from_json(data)
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    def jobs(self) -> List[Job]:
+        """Every readable job, oldest first (created_ts, then id)."""
+        out: List[Job] = []
+        try:
+            names = sorted(self.directory.glob("*.json"))
+        except OSError:
+            return out
+        for path in names:
+            job = self.load(path.stem)
+            if job is not None:
+                out.append(job)
+        out.sort(key=lambda job: (job.created_ts, job.id))
+        return out
+
+    # ------------------------------------------------------------- lifecycle
+
+    def next_pending(self) -> Optional[Job]:
+        for job in self.jobs():
+            if job.state == "pending":
+                return job
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    def recover(self) -> List[str]:
+        """Re-queue jobs a dead daemon left mid-``running``.
+
+        Their cached cells will be found complete on re-execution, so
+        recovery neither loses nor duplicates work.  Returns the
+        recovered job ids.
+        """
+        recovered: List[str] = []
+        for job in self.jobs():
+            if job.state == "running":
+                job.state = "pending"
+                self.save(job)
+                recovered.append(job.id)
+        return recovered
+
+
+def make_job(request: Dict[str, object], cells: List[JobCell]) -> Job:
+    """A freshly submitted (pending) job document."""
+    return Job(id=new_job_id(), state="pending",
+               created_ts=round(time.time(), 3), request=request,
+               cells=cells)

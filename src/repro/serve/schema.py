@@ -1,0 +1,178 @@
+"""Response-payload schemas of the serving API (documented contract).
+
+Every JSON body the daemon emits belongs to one of four kinds:
+
+* ``health`` — ``GET /healthz``: ``ok``, ``version``, per-state job
+  counts, the daemon's simulation counter, and the number of in-flight
+  coalesced cells;
+* ``job`` — ``POST /runs`` and ``GET /runs/<id>``: the persistent job
+  document (id, state, request echo, per-cell states) plus, on GET, a
+  live ``progress`` block;
+* ``record`` — ``GET /records/<key>``: a cached
+  :class:`~repro.experiments.records.RunRecord` exactly as stored in
+  ``.repro_cache/runs/<key>.json``;
+* ``error`` — any non-2xx/304 response: ``{"error": "<message>"}``.
+
+:func:`validate_payload` is the machine-checkable form of the contract
+(hand-rolled, no jsonschema dependency); ``tools/lint_repro.py
+--serve-schema`` runs it over captured responses in CI, and the daemon's
+tests run it over live ones.  ``docs/SERVING.md`` is the human-readable
+mirror — keep the two in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.records import SCALAR_METRICS
+
+#: job lifecycle states, in order
+JOB_STATES = ("pending", "running", "done", "failed")
+
+#: per-cell outcomes: not yet simulated / served from the cache /
+#: simulated by this job / simulated by another job this one coalesced
+#: onto / failed
+CELL_STATES = ("pending", "cached", "simulated", "coalesced", "failed")
+
+#: payload kinds understood by :func:`validate_payload`
+KINDS = ("health", "job", "record", "error")
+
+
+def _require(payload: Dict[str, object], name: str, types,
+             problems: List[str], kind: str) -> object:
+    if name not in payload:
+        problems.append(f"{kind}: missing required field {name!r}")
+        return None
+    value = payload[name]
+    if not isinstance(value, types):
+        problems.append(f"{kind}: field {name!r} is "
+                        f"{type(value).__name__}, expected "
+                        f"{getattr(types, '__name__', types)}")
+        return None
+    return value
+
+
+def _validate_health(payload: Dict[str, object]) -> List[str]:
+    problems: List[str] = []
+    _require(payload, "ok", bool, problems, "health")
+    _require(payload, "version", str, problems, "health")
+    _require(payload, "simulations", int, problems, "health")
+    _require(payload, "inflight", int, problems, "health")
+    jobs = _require(payload, "jobs", dict, problems, "health")
+    if isinstance(jobs, dict):
+        for state in JOB_STATES:
+            if not isinstance(jobs.get(state), int):
+                problems.append(f"health: jobs[{state!r}] missing or "
+                                f"not an int")
+    return problems
+
+
+def _validate_cell(index: int, cell: object) -> List[str]:
+    if not isinstance(cell, dict):
+        return [f"job: cells[{index}] is not an object"]
+    problems: List[str] = []
+    for name in ("workload", "config", "key"):
+        if not isinstance(cell.get(name), str) or not cell.get(name):
+            problems.append(f"job: cells[{index}].{name} missing or empty")
+    state = cell.get("state")
+    if state not in CELL_STATES:
+        problems.append(f"job: cells[{index}].state {state!r} not in "
+                        f"{CELL_STATES}")
+    return problems
+
+
+def _validate_job(payload: Dict[str, object]) -> List[str]:
+    problems: List[str] = []
+    _require(payload, "id", str, problems, "job")
+    state = _require(payload, "state", str, problems, "job")
+    if isinstance(state, str) and state not in JOB_STATES:
+        problems.append(f"job: state {state!r} not in {JOB_STATES}")
+    _require(payload, "created_ts", (int, float), problems, "job")
+    _require(payload, "error", str, problems, "job")
+    request = _require(payload, "request", dict, problems, "job")
+    if isinstance(request, dict):
+        for name in ("instructions", "seed", "warmup", "nodes"):
+            if not isinstance(request.get(name), int):
+                problems.append(f"job: request.{name} missing or not an int")
+        for name in ("workloads", "configs"):
+            value = request.get(name)
+            if (not isinstance(value, list) or not value
+                    or not all(isinstance(v, str) for v in value)):
+                problems.append(f"job: request.{name} must be a non-empty "
+                                f"list of strings")
+    cells = _require(payload, "cells", list, problems, "job")
+    if isinstance(cells, list):
+        if not cells:
+            problems.append("job: cells is empty")
+        for index, cell in enumerate(cells):
+            problems.extend(_validate_cell(index, cell))
+    for name in ("done_cells", "total_cells"):
+        _require(payload, name, int, problems, "job")
+    progress = payload.get("progress")
+    if progress is not None:
+        if not isinstance(progress, dict):
+            problems.append("job: progress is not an object")
+        else:
+            for name in ("heartbeats", "recent"):
+                value = progress.get(name)
+                if not isinstance(value, list) or not all(
+                        isinstance(v, dict) for v in value):
+                    problems.append(f"job: progress.{name} must be a list "
+                                    f"of objects")
+    return problems
+
+
+def _validate_record(payload: Dict[str, object]) -> List[str]:
+    problems: List[str] = []
+    for name in ("workload", "category", "config"):
+        _require(payload, name, str, problems, "record")
+    _require(payload, "instructions", int, problems, "record")
+    for name in SCALAR_METRICS:
+        value = payload.get(name)
+        if not isinstance(value, (int, float)):
+            problems.append(f"record: metric {name!r} missing or not a "
+                            f"number")
+    for name in ("events", "hists"):
+        _require(payload, name, dict, problems, "record")
+    return problems
+
+
+def _validate_error(payload: Dict[str, object]) -> List[str]:
+    problems: List[str] = []
+    message = _require(payload, "error", str, problems, "error")
+    if isinstance(message, str) and not message:
+        problems.append("error: empty error message")
+    return problems
+
+
+_VALIDATORS = {
+    "health": _validate_health,
+    "job": _validate_job,
+    "record": _validate_record,
+    "error": _validate_error,
+}
+
+
+def validate_payload(kind: str, payload: object) -> List[str]:
+    """Problems with ``payload`` as a ``kind`` response ([] = valid)."""
+    if kind not in _VALIDATORS:
+        return [f"unknown payload kind {kind!r}; pick from {KINDS}"]
+    if not isinstance(payload, dict):
+        return [f"{kind}: payload is {type(payload).__name__}, not an "
+                f"object"]
+    return _VALIDATORS[kind](payload)
+
+
+def classify_payload(payload: object) -> Optional[str]:
+    """Best-effort kind of a payload (shape sniffing for the CLI lint)."""
+    if not isinstance(payload, dict):
+        return None
+    if "error" in payload and len(payload) == 1:
+        return "error"
+    if "cells" in payload and "request" in payload:
+        return "job"
+    if "ok" in payload and "jobs" in payload:
+        return "health"
+    if "workload" in payload and "hists" in payload:
+        return "record"
+    return None

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import runlog
+from repro.obs.progress import PROGRESS_DIR_ENV, heartbeat_dir_override
 from repro.sim.runner import RunSpec
 
 #: progress callback: (completed_count, total, spec_just_finished)
@@ -106,6 +107,18 @@ class _CapturedCall:
         return _WorkerResult(payload, "", buffer.getvalue())
 
 
+def _worker_init(heartbeat_dir: str) -> None:
+    """Pool initializer: pin the worker's heartbeat directory.
+
+    Runs once per worker *process*, so each pool's workers beat into the
+    directory their own sweep created — two concurrent sweeps in one
+    parent process no longer race on the parent's
+    ``REPRO_PROGRESS_DIR`` (which remains only the outermost default for
+    callers that pass no explicit directory).
+    """
+    os.environ[PROGRESS_DIR_ENV] = heartbeat_dir
+
+
 def _default_output(spec: RunSpec, text: str) -> None:
     """Replay one worker's captured output as a single stderr block."""
     label = f"{spec.workload} on {spec.config.name} (seed {spec.seed})"
@@ -126,6 +139,7 @@ def execute_runs(
     on_result: Optional[ResultFn] = None,
     on_output: Optional[OutputFn] = None,
     capture: bool = True,
+    heartbeat_dir: Optional[str] = None,
 ) -> Tuple[Dict[int, object], List[RunFailure]]:
     """Run ``fn(spec)`` for every spec, fanning out over processes.
 
@@ -135,6 +149,13 @@ def execute_runs(
     results back through the pool).  ``on_result`` fires in the parent
     as each run lands — before ``progress`` — so callers can persist
     completed runs incrementally and an interrupted sweep keeps them.
+
+    ``heartbeat_dir`` names the sweep-progress directory runs beat into:
+    worker processes get it via their pool initializer and the serial
+    path via a thread-local override, so two concurrent sweeps in one
+    process never cross heartbeat directories.  ``None`` falls back to
+    whatever ``REPRO_PROGRESS_DIR`` already says (the outermost
+    default).
 
     With ``capture`` (multiprocess path only — the serial path's output
     is already ordered), each worker's stdout/stderr is buffered and
@@ -170,17 +191,24 @@ def execute_runs(
             _default_output(specs[index], text)
 
     if workers <= 1:
-        for index, spec in enumerate(specs):
-            try:
-                payload = fn(spec)
-            except Exception:
-                _fail(index, index + 1, traceback.format_exc())
-            else:
-                _land(index, payload, index + 1)
+        with heartbeat_dir_override(heartbeat_dir):
+            for index, spec in enumerate(specs):
+                try:
+                    payload = fn(spec)
+                except Exception:
+                    _fail(index, index + 1, traceback.format_exc())
+                else:
+                    _land(index, payload, index + 1)
         return results, failures
 
     task = _CapturedCall(fn) if capture else fn
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    if heartbeat_dir:
+        executor = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_worker_init,
+                                       initargs=(heartbeat_dir,))
+    else:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    with executor as pool:
         futures = {pool.submit(task, spec): index
                    for index, spec in enumerate(specs)}
         done = 0

@@ -1,0 +1,311 @@
+"""End-to-end daemon tests: real sockets, real simulations, real queue.
+
+A :class:`Daemon` helper runs :class:`~repro.serve.app.ServeApp` on a
+background event-loop thread so the test thread can drive it with plain
+``urllib`` — including genuinely concurrent submissions from multiple
+client threads (the coalescing test depends on that).
+"""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.app import ServeApp
+from repro.serve.schema import classify_payload, validate_payload
+
+#: a deliberately tiny matrix so every test daemon simulates in well
+#: under a second per cell
+MATRIX = {"workloads": ["water"], "configs": ["Base-2L"],
+          "instructions": 800, "seed": 5}
+
+DEADLINE_S = 60.0
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_FRESH", raising=False)
+    monkeypatch.delenv("REPRO_WARMUP", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    return tmp_path
+
+
+class Daemon:
+    """ServeApp on its own event-loop thread, driven over HTTP."""
+
+    def __init__(self, cache_root, workers=1, job_concurrency=2,
+                 drain=True):
+        self.app = ServeApp(cache_root=cache_root, workers=workers,
+                            job_concurrency=job_concurrency)
+        self.drain = drain
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.app.start(port=0, drain=self.drain),
+            self.loop).result(timeout=30)
+        return self
+
+    def __exit__(self, *exc):
+        asyncio.run_coroutine_threadsafe(self.app.stop(),
+                                         self.loop).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+    # ------------------------------------------------------------- client
+
+    def http(self, method, path, body=None, headers=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.app.port}{path}", data=data,
+            method=method, headers=headers or {})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, dict(response.headers), \
+                    response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def json(self, method, path, body=None, headers=None):
+        status, resp_headers, raw = self.http(method, path, body, headers)
+        payload = json.loads(raw) if raw else None
+        if isinstance(payload, dict):  # every JSON body obeys the schema
+            kind = classify_payload(payload)
+            assert kind is not None, payload
+            assert validate_payload(kind, payload) == [], payload
+        return status, resp_headers, payload
+
+    def submit(self, body=MATRIX):
+        status, headers, payload = self.json("POST", "/runs", body)
+        assert status == 201, payload
+        return headers["Location"].rsplit("/", 1)[1], payload
+
+    def wait_done(self, job_id):
+        deadline = time.monotonic() + DEADLINE_S
+        while time.monotonic() < deadline:
+            status, _, payload = self.json("GET", f"/runs/{job_id}")
+            assert status == 200, payload
+            if payload["state"] in ("done", "failed"):
+                return payload
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never settled")
+
+
+class TestLifecycle:
+    def test_submit_simulate_fetch_revalidate(self, cache):
+        with Daemon(cache) as daemon:
+            status, _, health = daemon.json("GET", "/healthz")
+            assert status == 200 and health["ok"]
+            assert health["simulations"] == 0
+
+            job_id, created = daemon.submit()
+            assert created["state"] == "pending"
+            assert created["total_cells"] == 1
+            settled = daemon.wait_done(job_id)
+            assert settled["state"] == "done", settled["error"]
+            [cell] = settled["cells"]
+            assert cell["state"] == "simulated"
+            assert "progress" in settled  # GET includes the live block
+
+            # the cell key addresses the record; the key is the ETag
+            status, headers, raw = daemon.http(
+                "GET", f"/records/{cell['key']}")
+            assert status == 200
+            assert headers["ETag"] == f'"{cell["key"]}"'
+            record = json.loads(raw)
+            assert record["workload"] == "water"
+            assert validate_payload("record", record) == []
+
+            status, headers, raw = daemon.http(
+                "GET", f"/records/{cell['key']}",
+                headers={"If-None-Match": f'"{cell["key"]}"'})
+            assert status == 304 and raw == b""
+            assert headers["ETag"] == f'"{cell["key"]}"'
+
+            status, headers, raw = daemon.http("GET", "/dashboard")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/html")
+            assert b"<html" in raw and b"water" in raw
+
+            _, _, health = daemon.json("GET", "/healthz")
+            assert health["simulations"] == 1
+            assert health["jobs"]["done"] == 1
+
+    def test_second_identical_job_is_fully_cached(self, cache):
+        with Daemon(cache) as daemon:
+            first, _ = daemon.submit()
+            daemon.wait_done(first)
+            second, _ = daemon.submit()
+            settled = daemon.wait_done(second)
+            assert [c["state"] for c in settled["cells"]] == ["cached"]
+            _, _, health = daemon.json("GET", "/healthz")
+            assert health["simulations"] == 1  # nothing re-ran
+
+
+class TestValidationAndRouting:
+    def test_error_responses(self, cache):
+        with Daemon(cache, drain=False) as daemon:
+            for method, path, body in [
+                ("POST", "/runs", {"wrkloads": ["water"]}),  # typo'd field
+                ("POST", "/runs", {"workloads": ["no-such"]}),
+                ("POST", "/runs", {"instructions": "many"}),
+                ("GET", "/records/not..a..key", None),
+                ("GET", "/runs/not-alnum", None),
+            ]:
+                status, _, payload = daemon.json(method, path, body)
+                assert status == 400, (path, payload)
+                assert payload["error"]
+            status, _, _ = daemon.json("GET", "/records/" + "f" * 24)
+            assert status == 404
+            status, _, _ = daemon.json("GET", "/runs/feedfacebeef")
+            assert status == 404
+            status, _, _ = daemon.json("DELETE", "/runs")
+            assert status == 405
+            status, _, _ = daemon.json("GET", "/nope")
+            assert status == 404
+
+    def test_non_json_body_rejected(self, cache):
+        with Daemon(cache, drain=False) as daemon:
+            status, _, raw = daemon.http("POST", "/runs")
+            # empty body = all defaults: accepted as a full sweep
+            assert status == 201
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{daemon.app.port}/runs",
+                data=b"not json", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400
+
+
+class TestCoalescer:
+    def test_first_claim_owns_later_claims_wait(self):
+        from repro.serve.coalesce import Coalescer
+
+        async def scenario():
+            coalescer = Coalescer()
+            owned, future = coalescer.claim("k1")
+            assert owned and len(coalescer) == 1
+            again, shared = coalescer.claim("k1")
+            assert not again and shared is future
+            coalescer.resolve("k1", "record")
+            assert await shared == "record"
+            assert len(coalescer) == 0
+            # the key is free again after resolution
+            assert coalescer.claim("k1")[0]
+
+        asyncio.run(scenario())
+
+    def test_fail_propagates_to_waiters(self):
+        from repro.serve.coalesce import Coalescer
+
+        async def scenario():
+            coalescer = Coalescer()
+            coalescer.claim("k1")
+            _, shared = coalescer.claim("k1")
+            coalescer.fail("k1", "run died")
+            with pytest.raises(RuntimeError, match="run died"):
+                await shared
+            # failing an already-settled or unknown key is a no-op
+            coalescer.fail("k1", "again")
+            coalescer.resolve("k2", "orphan")
+
+        asyncio.run(scenario())
+
+
+class TestCoalescing:
+    def test_identical_concurrent_submissions_share_one_simulation(
+            self, cache):
+        clients = 4
+        with Daemon(cache, workers=1, job_concurrency=clients) as daemon:
+            ids = []
+            errors = []
+            gate = threading.Barrier(clients, timeout=30)
+
+            def post():
+                try:
+                    gate.wait()  # all submissions land together
+                    ids.append(daemon.submit()[0])
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=post)
+                       for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors and len(ids) == clients
+
+            settled = [daemon.wait_done(job_id) for job_id in ids]
+            for payload in settled:
+                assert payload["state"] == "done", payload["error"]
+                [cell] = payload["cells"]
+                assert cell["state"] in ("simulated", "coalesced", "cached")
+
+            # the acceptance criterion: N identical submissions, ONE run
+            assert daemon.app.simulations == 1
+            states = sorted(payload["cells"][0]["state"]
+                            for payload in settled)
+            assert states.count("simulated") == 1
+            assert len(list((cache / "runs").glob("*.json"))) == 1
+
+
+class TestRestartResume:
+    def test_queue_survives_kill_and_restart(self, cache):
+        # Stage a half-drained queue: daemon A accepts but never drains
+        # (stand-in for a daemon killed mid-work), with one job already
+        # marked running and one of its two cells pre-simulated.
+        with Daemon(cache, drain=False) as staging:
+            two_cell = dict(MATRIX, configs=["Base-2L", "D2M-FS"])
+            interrupted, _ = staging.submit(two_cell)
+            waiting, _ = staging.submit(MATRIX)
+            job = staging.app.queue.load(interrupted)
+            job.state = "running"
+            job.cells[0].state = "simulated"
+            staging.app.queue.save(job)
+            from repro.experiments.runner import get_matrix
+            get_matrix(workloads=["water"], configs=None,
+                       instructions=800, seed=5, quiet=True, jobs=1)
+
+        before = len(list((cache / "runs").glob("*.json")))
+        with Daemon(cache, workers=1) as daemon:
+            assert daemon.app.recovered_jobs == [interrupted]
+            for job_id in (interrupted, waiting):
+                settled = daemon.wait_done(job_id)
+                assert settled["state"] == "done", settled["error"]
+                for cell in settled["cells"]:
+                    assert cell["state"] == "cached"  # nothing re-ran
+                    status, _, _ = daemon.http("GET",
+                                               f"/records/{cell['key']}")
+                    assert status == 200  # ...and nothing was lost
+            assert daemon.app.simulations == 0
+            _, _, health = daemon.json("GET", "/healthz")
+            assert health["jobs"] == {"pending": 0, "running": 0,
+                                      "done": 2, "failed": 0}
+        assert len(list((cache / "runs").glob("*.json"))) == before
+
+    def test_restart_simulates_only_the_missing_cells(self, cache):
+        with Daemon(cache, drain=False) as staging:
+            job_id, _ = staging.submit(dict(MATRIX,
+                                            configs=["Base-2L", "D2M-FS"]))
+            from repro.experiments.runner import get_matrix
+            from repro.common.params import base_2l
+            get_matrix(workloads=["water"], configs=[base_2l(8)],
+                       instructions=800, seed=5, quiet=True, jobs=1)
+
+        with Daemon(cache, workers=1) as daemon:
+            settled = daemon.wait_done(job_id)
+            assert settled["state"] == "done", settled["error"]
+            states = {cell["config"]: cell["state"]
+                      for cell in settled["cells"]}
+            assert states == {"Base-2L": "cached", "D2M-FS": "simulated"}
+            assert daemon.app.simulations == 1

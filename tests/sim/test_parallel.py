@@ -173,3 +173,99 @@ class TestFailureSummary:
 
     def test_empty_error(self):
         assert RunFailure("water", "D2M-FS", 1, error="").summary() == "?"
+
+
+# ------------------------------------------------------------------ heartbeat
+# Regression: sweeps used to hand workers their heartbeat directory by
+# mutating process-global os.environ[REPRO_PROGRESS_DIR]; two concurrent
+# sweeps in one process raced and crossed their heartbeat dirs.  The
+# directory is now threaded explicitly through execute_runs.
+
+def _beat_from_env(spec):
+    from repro.obs.progress import Heartbeat
+
+    hb = Heartbeat.from_env(f"{spec.workload}/{spec.config.name}")
+    if hb is not None:
+        hb.finish(accesses=1)
+    return spec.workload
+
+
+def _probe_env(spec):
+    import os
+
+    from repro.obs.progress import PROGRESS_DIR_ENV
+
+    return os.environ.get(PROGRESS_DIR_ENV, "")
+
+
+class TestHeartbeatDirThreading:
+    def test_serial_path_uses_explicit_dir(self, tmp_path, monkeypatch):
+        from repro.obs.progress import PROGRESS_DIR_ENV
+
+        monkeypatch.delenv(PROGRESS_DIR_ENV, raising=False)
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        results, failures = execute_runs(_specs("water"), _beat_from_env,
+                                         jobs=1,
+                                         heartbeat_dir=str(hb_dir))
+        assert not failures
+        assert list(hb_dir.glob("hb-*.json"))
+        # the explicit dir never leaks into the process environment
+        import os
+        assert PROGRESS_DIR_ENV not in os.environ
+
+    def test_two_overlapping_serial_sweeps_stay_separate(self, tmp_path,
+                                                         monkeypatch):
+        import threading
+
+        from repro.obs.progress import PROGRESS_DIR_ENV
+
+        monkeypatch.setenv(PROGRESS_DIR_ENV, "/nonexistent-outer-default")
+        dirs = [tmp_path / "a", tmp_path / "b"]
+        for d in dirs:
+            d.mkdir()
+        seen = {}
+
+        def _sweep(index):
+            def _task(spec):
+                from repro.obs.progress import resolve_heartbeat_dir
+
+                seen.setdefault(index, set()).add(resolve_heartbeat_dir())
+                return spec.workload
+
+            execute_runs(_specs("water", "lu", "fft"), _task, jobs=1,
+                         heartbeat_dir=str(dirs[index]))
+
+        threads = [threading.Thread(target=_sweep, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen[0] == {str(dirs[0])}
+        assert seen[1] == {str(dirs[1])}
+        # the env var stayed the untouched outermost default throughout
+        import os
+        assert os.environ[PROGRESS_DIR_ENV] == "/nonexistent-outer-default"
+
+    def test_workers_inherit_dir_via_initializer(self, tmp_path,
+                                                 monkeypatch):
+        from repro.obs.progress import PROGRESS_DIR_ENV
+
+        monkeypatch.delenv(PROGRESS_DIR_ENV, raising=False)
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        results, failures = execute_runs(_specs("water", "lu"), _probe_env,
+                                         jobs=2,
+                                         heartbeat_dir=str(hb_dir))
+        assert not failures
+        assert set(results.values()) == {str(hb_dir)}
+        import os
+        assert PROGRESS_DIR_ENV not in os.environ
+
+    def test_none_falls_back_to_env(self, tmp_path, monkeypatch):
+        from repro.obs.progress import PROGRESS_DIR_ENV
+
+        monkeypatch.setenv(PROGRESS_DIR_ENV, str(tmp_path))
+        results, _ = execute_runs(_specs("water"), _probe_env, jobs=1)
+        assert results[0] == str(tmp_path)

@@ -27,6 +27,7 @@ Usage::
     python -m tools.lint_repro [paths...]   # default: src/repro
     python -m tools.lint_repro --trace-schema trace.jsonl [...]
     python -m tools.lint_repro --digest-schema .repro_cache/runs [...]
+    python -m tools.lint_repro --serve-schema payloads/ [...]
     python -m tools.lint_repro --protocol
 
 ``--trace-schema`` switches to validating JSONL trace exports (from
@@ -38,6 +39,11 @@ of cached run records — files or directories of ``*.json`` — against
 :func:`repro.obs.histogram.validate_digest`: an empty digest is exactly
 ``{"count": 0.0}``; a non-empty one carries count/mean/max/p50/p90/p99
 with monotonic percentiles and nothing else.
+
+``--serve-schema`` validates captured ``repro serve`` response payloads
+(health / job / record / error, sniffed by shape) against
+:mod:`repro.serve.schema` — the machine-checkable half of
+``docs/SERVING.md``; CI's serve-smoke job runs it on live responses.
 
 ``--protocol`` reconciles the coherence-protocol implementations against
 the declarative transition tables in :mod:`repro.verify.spec` (see
@@ -277,6 +283,51 @@ def check_digest_schema(paths: List[Path]) -> List[str]:
     return problems
 
 
+def check_serve_schema(paths: List[Path]) -> List[str]:
+    """Validate captured serving-API response payloads.
+
+    Each path is a JSON file (or a directory of ``*.json``) holding one
+    response body from the ``repro serve`` daemon; the kind (health /
+    job / record / error) is sniffed from its shape and the payload is
+    validated against :mod:`repro.serve.schema` — the machine-checkable
+    half of ``docs/SERVING.md``.  CI's serve-smoke job curls the live
+    endpoints into files and runs this over them.
+    """
+    import json
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.serve.schema import classify_payload, validate_payload
+
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    problems: List[str] = []
+    for path in files:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        except ValueError as exc:
+            problems.append(f"{path}: not JSON: {exc}")
+            continue
+        kind = classify_payload(payload)
+        if kind is None:
+            problems.append(f"{path}: unrecognizable payload shape "
+                            f"(not health/job/record/error)")
+            continue
+        for issue in validate_payload(kind, payload):
+            problems.append(f"{path}: {issue}")
+    if not files:
+        problems.append("--serve-schema matched no payload files")
+    return problems
+
+
 def check_protocol() -> List[str]:
     """Reconcile the protocol implementations against their specs."""
     src = str(REPO_ROOT / "src")
@@ -319,6 +370,21 @@ def main(argv: List[str]) -> int:
             return 1
         print(f"lint_repro: digest schemas valid in "
               f"{len(record_paths)} path(s)")
+        return 0
+    if argv and argv[0] == "--serve-schema":
+        payload_paths = [Path(arg) for arg in argv[1:]]
+        if not payload_paths:
+            print("lint_repro: --serve-schema needs at least one response "
+                  "payload file or directory", file=sys.stderr)
+            return 2
+        problems = check_serve_schema(payload_paths)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"lint_repro: serve payloads valid in "
+              f"{len(payload_paths)} path(s)")
         return 0
     if argv and argv[0] == "--trace-schema":
         trace_paths = [Path(arg) for arg in argv[1:]]
