@@ -8,7 +8,9 @@ Commands:
 * ``sweep`` — populate the shared run matrix cache up front (with live
   progress and a machine-readable ``progress.jsonl``).
 * ``trace`` — capture one run's protocol event stream and export it as
-  JSONL or Chrome ``trace_event`` JSON (Perfetto-viewable).
+  JSONL or Chrome ``trace_event`` JSON (Perfetto-viewable); ``--job``
+  instead exports a served job's request-lifecycle spans from the
+  daemon's span log.
 * ``bench`` — time the simulator itself over a pinned matrix and emit
   a ``BENCH_<date>.json`` perf-tracking report.
 * ``compare`` — diff two bench reports, run records, or sweep matrices
@@ -36,6 +38,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.common.params import SystemConfig, all_configs
 from repro.obs import runlog
+from repro.obs.profile import profile_text
 from repro.sim.runner import run_workload
 from repro.workloads.registry import get_spec, workload_names, workloads_by_category
 
@@ -110,7 +113,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            sanitize_every=args.sanitize_every or None,
                            check_invariants=args.check_invariants,
                            telemetry=True if args.hist else None,
-                           batched=args.batched or None)
+                           batched=args.batched or None,
+                           profile=args.profile_attrib)
     result = outcome.result
     print(f"{args.workload} on {config.name} "
           f"({result.instructions} instructions)")
@@ -144,6 +148,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(hist_table(hists))
+    if args.profile_attrib:
+        print()
+        print(profile_text(outcome.profile_summary()))
     if outcome.invariants_checked and not outcome.invariants_ok:
         print(outcome.invariant_error, file=sys.stderr)
         return 1
@@ -205,6 +212,8 @@ def _report_hist(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.job:
+        return _trace_job(args)
     config = _resolve_config(args.config)
     if config is None:
         return 2
@@ -239,6 +248,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_job(args: argparse.Namespace) -> int:
+    """``repro trace --job``: export a served job's lifecycle spans."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.runner import cache_dir
+    from repro.obs.trace import chrome_span_events
+    from repro.serve.telemetry import load_spans
+
+    root = Path(args.serve_cache) if args.serve_cache else cache_dir()
+    spans_dir = root / "queue" / "spans"
+    spans = load_spans(spans_dir, args.job)
+    if not spans:
+        print(f"no spans recorded for job {args.job!r} under {spans_dir}",
+              file=sys.stderr)
+        return 2
+    # Job-derived default so exporting several traces into one directory
+    # (CI artifacts) never clobbers an earlier file.
+    path = args.out or f"trace_job_{args.job}.json"
+    events = chrome_span_events(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events}, handle)
+    traces = sorted({str(span.get("trace", "")) for span in spans} - {""})
+    print(f"job {args.job}: {len(spans)} span(s)"
+          + (f", trace {', '.join(traces)}" if traces else "")
+          + f" -> {path}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.runner import (
         SweepError,
@@ -266,7 +304,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             jobs=args.jobs or None,
                             sanitize=args.sanitize,
                             sanitize_every=args.sanitize_every,
-                            check_invariants=args.check_invariants)
+                            check_invariants=args.check_invariants,
+                            profile=args.profile_attrib)
     except SweepError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -293,7 +332,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(quick=args.quick, out=args.out,
                       check_equivalence=not args.no_equivalence,
                       baseline=args.baseline,
-                      scalar_out=args.scalar_out)
+                      scalar_out=args.scalar_out,
+                      profile_attrib=args.profile_attrib)
 
 
 def _parse_workloads_arg(raw: str) -> Optional[list]:
@@ -395,7 +435,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     return serve_forever(host=args.host, port=args.port,
                          workers=args.workers,
-                         job_concurrency=args.job_concurrency)
+                         job_concurrency=args.job_concurrency,
+                         metrics_out=args.metrics_out)
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
@@ -509,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the batched fast-path driver "
                             "(bit-identical stats; REPRO_BATCHED=1 is "
                             "the env equivalent)")
+    _add_profile_flag(run_p)
     _add_checking_flags(run_p)
 
     report_p = sub.add_parser("report", help="regenerate a paper artifact")
@@ -546,6 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--seed", type=int, default=1)
     trace_p.add_argument("--quick", action="store_true",
                          help="small fixed budget (CI smoke mode)")
+    trace_p.add_argument("--job", default="", metavar="ID",
+                         help="export a served job's request-lifecycle "
+                              "spans from the daemon span log instead of "
+                              "simulating (default --out "
+                              "trace_job_<ID>.json)")
+    trace_p.add_argument("--serve-cache", default="", metavar="DIR",
+                         help="(with --job) serve cache root holding "
+                              "queue/spans/ (default REPRO_CACHE_DIR or "
+                              "./.repro_cache)")
 
     sweep_p = sub.add_parser("sweep", help="populate the run-matrix cache")
     sweep_p.add_argument("--workloads", default="",
@@ -555,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=0,
                          help="parallel workers (0 = REPRO_JOBS or CPU "
                               "count; 1 = serial in-process)")
+    _add_profile_flag(sweep_p)
     _add_checking_flags(sweep_p)
 
     bench_p = sub.add_parser(
@@ -578,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="after benching, diff the fresh report "
                               "against this baseline (exit 3 on "
                               "regression)")
+    _add_profile_flag(bench_p)
 
     compare_p = sub.add_parser(
         "compare",
@@ -631,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--cache-dir", default="",
                          help="run cache root (default REPRO_CACHE_DIR "
                               "or ./.repro_cache)")
+    serve_p.add_argument("--metrics-out", default="", metavar="PATH",
+                         help="also write the Prometheus exposition text "
+                              "to PATH every few seconds (atomic "
+                              "replace)")
 
     dash_p = sub.add_parser(
         "dashboard",
@@ -655,6 +712,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "comparison section")
 
     return parser
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile-attrib", action="store_true",
+                        help="attribute batched-driver slow-tail wall "
+                             "time to verify-spec transition classes "
+                             "(implies the batched driver; stats stay "
+                             "bit-identical)")
 
 
 def _add_checking_flags(parser: argparse.ArgumentParser) -> None:

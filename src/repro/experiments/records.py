@@ -97,6 +97,10 @@ class RunRecord:
     # ({} when the run was simulated with telemetry off)
     hists: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
+    # slow-tail attribution profile (repro.obs.profile digest; {} when the
+    # run was simulated without --profile-attrib)
+    profile: Dict[str, object] = field(default_factory=dict)
+
     def to_json(self) -> dict:
         return asdict(self)
 
@@ -159,6 +163,7 @@ def record_from_outcome(outcome, category: str) -> RunRecord:
         invariants_ok=outcome.invariants_ok,
         invariant_error=outcome.invariant_error,
         hists=outcome.hist_summaries(),
+        profile=outcome.profile_summary(),
     )
 
 

@@ -45,8 +45,8 @@ from repro.workloads.registry import CATEGORIES, get_spec, workload_names
 Matrix = Dict[str, Dict[str, RunRecord]]
 
 #: bump when RunRecord's schema or the simulation semantics change
-#: (7: histogram telemetry digests joined the record)
-RUN_FORMAT = 7
+#: (8: slow-tail attribution profile joined the record)
+RUN_FORMAT = 8
 
 #: a ``<key>.json.*.tmp`` file older than this is crash litter, not an
 #: in-flight atomic write (writes complete in milliseconds)
@@ -232,14 +232,15 @@ def plan_matrix(workloads: Optional[Iterable[str]] = None,
                 sanitize: bool = False, sanitize_every: int = 0,
                 check_invariants: bool = False,
                 telemetry: bool = True,
+                profile: bool = False,
                 fresh: Optional[bool] = None,
                 warmup: Optional[int] = None) -> SweepPlan:
     """Split a matrix request into cached records and pending runs.
 
     Loads every already-cached record into ``plan.matrix`` and lists the
     rest as :class:`PendingRun`s.  A cached record that lacks a
-    requested check (``sanitize``/``check_invariants``/``telemetry``) is
-    a miss.  ``fresh=None`` defaults from ``REPRO_FRESH``;
+    requested check (``sanitize``/``check_invariants``/``telemetry``/
+    ``profile``) is a miss.  ``fresh=None`` defaults from ``REPRO_FRESH``;
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` or
     the default fraction, while an explicit value pins the cache keys
     regardless of the environment (the daemon does this per request).
@@ -264,14 +265,15 @@ def plan_matrix(workloads: Optional[Iterable[str]] = None,
             if record is not None and ((sanitize and not record.sanitized) or
                                        (check_invariants
                                         and not record.invariants_checked) or
-                                       (telemetry and not record.hists)):
+                                       (telemetry and not record.hists) or
+                                       (profile and not record.profile)):
                 record = None  # cached run skipped a requested check
             if record is None:
                 plan.pending.append(PendingRun(
                     RunSpec(config, workload, budget, seed, warmup=warmup,
                             sanitize=sanitize, sanitize_every=sanitize_every,
                             check_invariants=check_invariants,
-                            telemetry=telemetry),
+                            telemetry=telemetry, profile=profile),
                     path, key))
             else:
                 plan.matrix[workload][config.name] = record
@@ -283,8 +285,8 @@ def execute_plan(plan: SweepPlan, jobs: Optional[int] = None,
                  heartbeat_dir: Optional[str] = None,
                  jsonl_path: Optional[str] = None,
                  on_record: Optional[Callable[[PendingRun, RunRecord],
-                                              None]] = None
-                 ) -> List[RunFailure]:
+                                              None]] = None,
+                 trace: str = "") -> List[RunFailure]:
     """Simulate a plan's pending runs, persisting each as it lands.
 
     Fills ``plan.matrix`` in place and returns the failures (empty on a
@@ -295,14 +297,20 @@ def execute_plan(plan: SweepPlan, jobs: Optional[int] = None,
     directories.  When ``None``, a throwaway directory under the cache
     is created and cleaned up.  ``on_record`` fires in the calling
     process after each record is written (the daemon resolves coalesced
-    waiters from it).
+    waiters from it).  ``trace`` is the serving layer's correlation id;
+    when set it is stamped onto every pending spec (so worker runlog
+    events and heartbeats carry it) and onto the sweep start/end events.
     """
     if not plan.pending:
         return []
+    log_extra: Dict[str, object] = {"trace": trace} if trace else {}
     runlog.emit("sweep.start", pending=len(plan.pending),
                 cached=plan.cached, workloads=len(plan.workloads),
-                configs=len(plan.configs))
+                configs=len(plan.configs), **log_extra)
     pending = list(plan.pending)
+    if trace:
+        for item in pending:
+            item.spec.trace = trace
     specs = [item.spec for item in pending]
 
     def persist(index: int, payload: dict) -> None:
@@ -338,7 +346,8 @@ def execute_plan(plan: SweepPlan, jobs: Optional[int] = None,
     finally:
         if owns_heartbeat_dir and heartbeat_dir:
             shutil.rmtree(heartbeat_dir, ignore_errors=True)
-    runlog.emit("sweep.end", pending=len(pending), failures=len(failures))
+    runlog.emit("sweep.end", pending=len(pending), failures=len(failures),
+                **log_extra)
     return failures
 
 
@@ -348,7 +357,8 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
                quiet: bool = False, jobs: Optional[int] = None,
                sanitize: bool = False, sanitize_every: int = 0,
                check_invariants: bool = False,
-               telemetry: bool = True) -> Matrix:
+               telemetry: bool = True,
+               profile: bool = False) -> Matrix:
     """The shared run matrix, assembled from per-run cache records.
 
     Missing runs are simulated — in parallel when ``jobs`` (or
@@ -365,6 +375,10 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
     on: neither it nor the sanitizer perturbs a run's statistics) stores
     histogram percentile digests on each record; like the checks, a
     cached record without them is a miss when they are requested.
+    ``profile`` runs each simulation under the slow-tail attribution
+    profiler (:mod:`repro.obs.profile`) and persists its digest on the
+    record — statistics stay bit-identical; only wall-time attribution
+    is added.
 
     Live progress goes through :class:`repro.obs.progress.SweepProgress`:
     per-run completion lines (or an in-place line on a TTY, fed by
@@ -379,7 +393,7 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
                        instructions=instructions, seed=seed,
                        sanitize=sanitize, sanitize_every=sanitize_every,
                        check_invariants=check_invariants,
-                       telemetry=telemetry)
+                       telemetry=telemetry, profile=profile)
     failures = execute_plan(plan, jobs=jobs, quiet=quiet)
     if failures:
         raise SweepError(failures)

@@ -1,0 +1,325 @@
+"""Zero-dependency service metrics: a declared-once registry with
+Prometheus text exposition.
+
+``repro serve`` is a long-lived daemon; operating it needs scrapeable
+fleet health (queue depth, coalesce hit ratio, worker lane states,
+per-stage latency) without adding a client library the container does
+not have.  This module is the whole stack: a metric *schema* declared
+once (:data:`METRIC_SCHEMA` — names, types, help, label sets; linted by
+``tools/lint_repro.py --metrics-schema``), a :class:`MetricsRegistry`
+that only accepts instrument calls matching that schema, and a renderer
+emitting the Prometheus text exposition format (version 0.0.4) that any
+scraper parses.
+
+Histograms reuse :class:`repro.obs.histogram.Histogram` — the same
+log2-bucket digest primitive run records carry — exposed as cumulative
+``_bucket{le=...}`` series (bucket upper bounds are ``2**i - 1``).
+
+Everything here is loop-thread-only inside the daemon (asyncio, no
+locks needed); the registry itself is also safe to use from synchronous
+tools (tests, ``--metrics-out`` snapshots).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.histogram import Histogram
+
+#: valid Prometheus metric / label name (conservative subset)
+_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+#: the three instrument kinds the registry supports
+METRIC_TYPES = ("counter", "gauge", "histogram")
+
+#: name -> (type, help, label names).  This is the single source of
+#: truth: every instrument call validates against it, the renderer
+#: derives HELP/TYPE lines from it, and the lint re-validates both the
+#: table itself and captured exposition text against it.
+METRIC_SCHEMA: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
+    "repro_http_requests_total": (
+        "counter", "HTTP requests served, by endpoint and status.",
+        ("endpoint", "status")),
+    "repro_queue_depth": (
+        "gauge", "Jobs currently pending or running in the queue.", ()),
+    "repro_queue_oldest_age_seconds": (
+        "gauge", "Age of the oldest non-terminal job, seconds.", ()),
+    "repro_coalesce_owned_total": (
+        "counter", "Cell claims that started a new simulation.", ()),
+    "repro_coalesce_hits_total": (
+        "counter", "Cell claims coalesced onto an in-flight simulation.",
+        ()),
+    "repro_coalesce_inflight": (
+        "gauge", "Cell keys currently being simulated.", ()),
+    "repro_worker_lanes": (
+        "gauge", "Drain lanes by state (idle / running / stalled).",
+        ("state",)),
+    "repro_cache_hits_total": (
+        "counter", "Submitted cells served straight from the run cache.",
+        ()),
+    "repro_cache_misses_total": (
+        "counter", "Submitted cells that required simulation.", ()),
+    "repro_simulations_total": (
+        "counter", "Simulated runs completed since startup.", ()),
+    "repro_record_requests_total": (
+        "counter", "GET /records/<key> requests.", ()),
+    "repro_record_304_total": (
+        "counter", "GET /records/<key> requests answered 304 via ETag.",
+        ()),
+    "repro_jobs_total": (
+        "counter", "Jobs reaching a terminal state, by outcome.",
+        ("outcome",)),
+    "repro_uptime_seconds": (
+        "gauge", "Seconds since the daemon started.", ()),
+    "repro_stage_ns": (
+        "histogram", "Per-stage request latency, nanoseconds (log2 buckets).",
+        ("stage",)),
+}
+
+
+def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _render_labels(items: Tuple[Tuple[str, str], ...],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(items)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Counters, gauges and log2 histograms behind one declared schema.
+
+    Instrument calls with an undeclared name, a label set that does not
+    exactly match the declaration, or the wrong instrument kind raise
+    ``KeyError``/``ValueError`` immediately — mismatches are bugs, not
+    data.
+    """
+
+    def __init__(self, schema: Optional[Mapping[
+            str, Tuple[str, str, Tuple[str, ...]]]] = None) -> None:
+        self.schema: Dict[str, Tuple[str, str, Tuple[str, ...]]] = dict(
+            METRIC_SCHEMA if schema is None else schema)
+        self._scalars: Dict[str, Dict[Tuple[Tuple[str, str], ...],
+                                      float]] = {}
+        self._hists: Dict[str, Dict[Tuple[Tuple[str, str], ...],
+                                    Histogram]] = {}
+        self.started_ts = time.time()
+
+    # -- schema checks -----------------------------------------------------
+
+    def _check(self, name: str, kind: str,
+               labels: Mapping[str, str]) -> None:
+        spec = self.schema.get(name)
+        if spec is None:
+            raise KeyError(f"undeclared metric: {name}")
+        mtype, _help, label_names = spec
+        if mtype != kind:
+            raise ValueError(f"{name} is a {mtype}, used as a {kind}")
+        if tuple(sorted(labels)) != tuple(sorted(label_names)):
+            raise ValueError(
+                f"{name} labels {sorted(labels)} != declared "
+                f"{sorted(label_names)}")
+
+    # -- instruments -------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Bump a counter (monotonic; ``amount`` must be >= 0)."""
+        self._check(name, "counter", labels)
+        if amount < 0:
+            raise ValueError(f"counter {name} decremented by {amount}")
+        series = self._scalars.setdefault(name, {})
+        key = _label_key(labels)
+        series[key] = series.get(key, 0.0) + amount
+
+    def set(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge to an absolute value."""
+        self._check(name, "gauge", labels)
+        self._scalars.setdefault(name, {})[_label_key(labels)] = value
+
+    def observe(self, name: str, value: int, **labels: str) -> None:
+        """Record one observation into a log2 histogram (ints only)."""
+        self._check(name, "histogram", labels)
+        series = self._hists.setdefault(name, {})
+        key = _label_key(labels)
+        hist = series.get(key)
+        if hist is None:
+            hist = Histogram(name)
+            series[key] = hist
+        hist.record(value if value >= 0 else 0)
+
+    # -- queries (tests / health payloads) ---------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge series (0.0 if never touched)."""
+        return self._scalars.get(name, {}).get(_label_key(labels), 0.0)
+
+    def histogram(self, name: str, **labels: str) -> Optional[Histogram]:
+        return self._hists.get(name, {}).get(_label_key(labels))
+
+    # -- exposition --------------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text exposition (version 0.0.4) of every
+        declared metric that has been touched, plus uptime."""
+        self.set("repro_uptime_seconds",
+                 round(time.time() - self.started_ts, 3))
+        lines: List[str] = []
+        for name in sorted(self.schema):
+            mtype, help_text, _labels = self.schema[name]
+            if mtype in ("counter", "gauge"):
+                series = self._scalars.get(name)
+                if not series:
+                    continue
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {mtype}")
+                for key in sorted(series):
+                    value = series[key]
+                    text = (f"{int(value)}" if value == int(value)
+                            else repr(value))
+                    lines.append(f"{name}{_render_labels(key)} {text}")
+            else:
+                series_h = self._hists.get(name)
+                if not series_h:
+                    continue
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} histogram")
+                for key in sorted(series_h):
+                    hist = series_h[key]
+                    seen = 0
+                    for index, n in hist.nonzero_buckets():
+                        seen += n
+                        upper = 0 if index == 0 else (1 << index) - 1
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_render_labels(key, ('le', str(upper)))}"
+                            f" {seen}")
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_render_labels(key, ('le', '+Inf'))}"
+                        f" {hist.count}")
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} {hist.total}")
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} {hist.count}")
+        return "\n".join(lines) + "\n"
+
+
+# -- schema + exposition validation (shared by tests and the lint) ---------
+
+def validate_schema(schema: Mapping[str, Tuple[str, str, Tuple[str, ...]]]
+                    = METRIC_SCHEMA) -> List[str]:
+    """Well-formedness check of the declaration table itself."""
+    problems: List[str] = []
+    for name, spec in schema.items():
+        if not _NAME_RE.match(name):
+            problems.append(f"invalid metric name: {name!r}")
+        if not (isinstance(spec, tuple) and len(spec) == 3):
+            problems.append(f"{name}: spec is not (type, help, labels)")
+            continue
+        mtype, help_text, labels = spec
+        if mtype not in METRIC_TYPES:
+            problems.append(f"{name}: unknown type {mtype!r}")
+        if not help_text or not isinstance(help_text, str):
+            problems.append(f"{name}: missing help text")
+        if not isinstance(labels, tuple):
+            problems.append(f"{name}: labels must be a tuple")
+            continue
+        for label in labels:
+            if not _NAME_RE.match(label):
+                problems.append(f"{name}: invalid label name {label!r}")
+            if label == "le":
+                problems.append(f"{name}: label 'le' is reserved")
+        if len(set(labels)) != len(labels):
+            problems.append(f"{name}: duplicate label names")
+        if mtype == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counter names must end in _total")
+    return problems
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'([a-z_][a-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_exposition(text: str,
+                        schema: Mapping[str, Tuple[str, str,
+                                                   Tuple[str, ...]]]
+                        = METRIC_SCHEMA) -> List[str]:
+    """Parse Prometheus text exposition and check it against the schema.
+
+    Used by the live-scrape test and ``lint_repro --metrics-schema`` on
+    the CI-captured ``metrics.txt`` artifact.
+    """
+    problems: List[str] = []
+    declared_types: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _h, _t, name, mtype = parts
+            spec = schema.get(name)
+            if spec is None:
+                problems.append(f"line {lineno}: undeclared metric {name}")
+            elif spec[0] != mtype:
+                problems.append(
+                    f"line {lineno}: {name} typed {mtype}, declared "
+                    f"{spec[0]}")
+            declared_types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = name
+        extra_ok: Tuple[str, ...] = ()
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and schema.get(trimmed, ("",))[0] == "histogram":
+                base = trimmed
+                extra_ok = ("le",) if suffix == "_bucket" else ()
+                break
+        spec = schema.get(base)
+        if spec is None:
+            problems.append(f"line {lineno}: undeclared metric {name}")
+            continue
+        label_text = match.group("labels") or ""
+        got = {m.group(1) for m in _LABEL_RE.finditer(label_text)}
+        want = set(spec[2]) | set(extra_ok)
+        if got != want:
+            problems.append(
+                f"line {lineno}: {name} labels {sorted(got)} != "
+                f"declared {sorted(want)}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: non-numeric value {value!r}")
+        if base in schema and base not in declared_types:
+            problems.append(
+                f"line {lineno}: sample for {base} precedes its TYPE line")
+    return problems

@@ -99,18 +99,22 @@ def _pid_alive(pid: int) -> bool:
 class Heartbeat:
     """Worker-side progress beats, written to one per-process file."""
 
-    __slots__ = ("path", "label", "_started", "_last_write", "_min_interval")
+    __slots__ = ("path", "label", "trace", "_started", "_last_write",
+                 "_min_interval")
 
     def __init__(self, path: str, label: str,
-                 min_interval_s: float = HEARTBEAT_INTERVAL_S) -> None:
+                 min_interval_s: float = HEARTBEAT_INTERVAL_S,
+                 trace: str = "") -> None:
         self.path = path
         self.label = label
+        #: serve-layer correlation id; "" outside a traced request
+        self.trace = trace
         self._started = time.monotonic()
         self._last_write = 0.0
         self._min_interval = min_interval_s
 
     @staticmethod
-    def from_env(label: str) -> Optional["Heartbeat"]:
+    def from_env(label: str, trace: str = "") -> Optional["Heartbeat"]:
         """A heartbeat when a progress directory is configured, else None.
 
         The thread-local override installed by
@@ -121,7 +125,7 @@ class Heartbeat:
         if not directory or not os.path.isdir(directory):
             return None
         path = os.path.join(directory, f"hb-{os.getpid()}.json")
-        return Heartbeat(path, label)
+        return Heartbeat(path, label, trace=trace)
 
     def beat(self, accesses: int, force: bool = False) -> None:
         """Rewrite the heartbeat file (rate-limited unless ``force``)."""
@@ -138,6 +142,8 @@ class Heartbeat:
             "ips": round(accesses / elapsed, 1) if elapsed > 0 else 0.0,
             "ts": round(time.time(), 3),
         }
+        if self.trace:
+            payload["trace"] = self.trace
         try:
             with open(self.path, "w", encoding="utf-8") as fh:
                 fh.write(json.dumps(payload))

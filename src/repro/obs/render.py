@@ -14,6 +14,9 @@ Sections:
 * **histogram digests** — per-level latency, MSHR residency, MD1/MD2
   occupancy, and NoC hop distributions of one focus cell, as log-scale
   percentile bars (p50/p90/p99/max out of the log2 digests);
+* **slow-tail attribution** — when the focus record carries a
+  ``--profile-attrib`` digest, ranked per-transition-class slow-tail
+  seconds bars (:func:`repro.obs.profile.profile_ranking`);
 * **comparison views** — side-by-side percentile bars plus a
   severity-classified delta table for any :class:`ComparisonReport`
   (config vs config, or candidate bench vs committed baseline).
@@ -30,6 +33,7 @@ import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.compare import NOTE, OK, REGRESSION, WARN, ComparisonReport
+from repro.obs.profile import profile_ranking
 
 #: digest fields drawn as bars, nearest first
 _BAR_FIELDS = ("p50", "p90", "p99", "max")
@@ -279,6 +283,74 @@ def digest_panels(hists: Mapping[str, Mapping[str, float]]) -> str:
     return "".join(sections)
 
 
+# ------------------------------------------------- slow-tail attribution
+
+
+def svg_profile_bars(rows: Sequence[Tuple[str, float, int]],
+                     width: int = 560) -> str:
+    """Ranked per-transition-class slow-tail seconds as linear bars."""
+    gutter, bar_h, gap, pad = 170, 14, 4, 110
+    max_value = max((seconds for _, seconds, _ in rows), default=0.0)
+    plot_w = width - gutter - pad
+    height = len(rows) * (bar_h + gap) + 6
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'aria-label="slow-tail attribution">',
+        f'<line class="grid" x1="{gutter}" y1="0" x2="{gutter}" '
+        f'y2="{height}"/>',
+    ]
+    for index, (tid, seconds, count) in enumerate(rows):
+        y = index * (bar_h + gap)
+        frac = seconds / max_value if max_value > 0 else 0.0
+        w = max(plot_w * frac, 1.0 if seconds else 0.0)
+        parts.append(f'<text class="dim" x="{gutter - 6}" '
+                     f'y="{y + bar_h - 3}" text-anchor="end">'
+                     f'{esc(tid)}</text>')
+        if seconds:
+            parts.append(
+                f'<rect x="{gutter}" y="{y}" width="{w:.1f}" '
+                f'height="{bar_h}" rx="3" fill="var(--series-2)">'
+                f'<title>{esc(tid)}: {seconds:.4f}s over {count} '
+                f'fallback accesses</title></rect>')
+        parts.append(f'<text x="{gutter + w + 6:.1f}" y="{y + bar_h - 3}">'
+                     f'{seconds:.4f}s ({count}x)</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def profile_panel(profile: Mapping[str, object], limit: int = 16) -> str:
+    """The slow-tail attribution section for one record's profile digest.
+
+    Empty string when the record carries no profile (runs without
+    ``--profile-attrib``) — the dashboard simply omits the section.
+    """
+    if not isinstance(profile, Mapping) or not profile:
+        return ""
+    rows = profile_ranking(dict(profile))
+    parts = [
+        "<h2>Slow-tail attribution (--profile-attrib)</h2>",
+        "<p class=\"note\">wall "
+        f"{esc(_fmt(float(profile.get('wall_s', 0.0))))}s = fast-path "  # type: ignore[arg-type]
+        f"{esc(_fmt(float(profile.get('fast_s', 0.0))))}s + slow-tail "  # type: ignore[arg-type]
+        f"{esc(_fmt(float(profile.get('slow_s', 0.0))))}s over "  # type: ignore[arg-type]
+        f"{esc(profile.get('slow_accesses', 0))} fallback accesses "
+        f"({esc(profile.get('chunks', 0))} chunks); slow-tail seconds "
+        "attributed to verify-spec transition classes, most expensive "
+        "first.</p>",
+    ]
+    if rows:
+        hidden = len(rows) - limit
+        parts.append(svg_profile_bars(rows[:limit]))
+        if hidden > 0:
+            parts.append(f"<p class=\"note\">…and {hidden} more "
+                         f"class(es) below the display limit.</p>")
+    else:
+        parts.append("<p class=\"note\">no slow-tail accesses were "
+                     "observed (the fast path covered the run).</p>")
+    return "".join(parts)
+
+
 # ------------------------------------------------------------- comparisons
 
 
@@ -444,6 +516,10 @@ def render_dashboard(matrix: Mapping[str, Mapping[str, object]],
                     "cell carries no telemetry digests (regenerate it with "
                     "REPRO_FRESH=1 repro sweep).</p>")
 
+    profile = _rget(focus_record, "profile", {}) if focus_record else {}
+    if isinstance(profile, Mapping) and profile:
+        body.append(profile_panel(profile))
+
     for section_title, report in comparisons:
         body.append(comparison_section(report, section_title))
 
@@ -504,7 +580,9 @@ __all__ = [
     "dashboard_from_records",
     "delta_table",
     "digest_panels",
+    "profile_panel",
     "render_dashboard",
+    "svg_profile_bars",
     "speedup_color",
     "speedup_matrix",
     "svg_digest_bars",

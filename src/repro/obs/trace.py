@@ -29,7 +29,9 @@ from typing import IO, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.events import ProtocolEvent
 
-#: JSONL trace schema: field -> (required, allowed types)
+#: JSONL trace schema: field -> (required, allowed types).  ``trace``
+#: is the serve-layer correlation id (optional — pre-PR-9 logs lack it
+#: and must keep validating).
 TRACE_FIELDS: Dict[str, Tuple[bool, tuple]] = {
     "seq": (True, (int,)),
     "t": (True, (int,)),
@@ -39,6 +41,7 @@ TRACE_FIELDS: Dict[str, Tuple[bool, tuple]] = {
     "region": (False, (int, type(None))),
     "idx": (False, (int, type(None))),
     "detail": (False, (str,)),
+    "trace": (False, (str,)),
 }
 
 #: event kinds rendered as Chrome instants (LI / ownership transitions)
@@ -278,6 +281,47 @@ class TraceRecorder:
                    "displayTimeUnit": "ms"}, stream)
         stream.write("\n")
         return len(self._events)
+
+
+#: the request lifecycle stages the serve layer records spans for
+SPAN_STAGES = ("validate", "enqueue", "coalesce-wait", "claim",
+               "simulate", "cache-write", "respond")
+
+
+def chrome_span_events(spans: Sequence[Dict[str, object]]
+                       ) -> List[Dict[str, object]]:
+    """Serve-layer request spans as a Chrome ``trace_event`` array.
+
+    Each span is a mapping with ``trace`` (correlation id), ``job``,
+    ``stage`` (one of :data:`SPAN_STAGES`), ``ts`` (epoch seconds) and
+    ``dur_s``; extra keys ride along in ``args``.  One track per stage,
+    timestamps rebased to the earliest span so the trace opens at t=0.
+    """
+    out: List[Dict[str, object]] = [
+        {"ph": "M", "pid": 0, "name": "process_name",
+         "args": {"name": "repro serve"}},
+    ]
+    if not spans:
+        return out
+    stage_tid = {stage: tid for tid, stage in enumerate(SPAN_STAGES)}
+    seen_tids: Dict[int, str] = {}
+    base = min(float(span["ts"]) for span in spans)  # type: ignore[arg-type]
+    for span in spans:
+        stage = str(span.get("stage", ""))
+        tid = stage_tid.get(stage, len(SPAN_STAGES))
+        seen_tids[tid] = stage or "other"
+        ts_us = (float(span["ts"]) - base) * 1e6  # type: ignore[arg-type]
+        dur_us = max(float(span.get("dur_s", 0.0)) * 1e6, 1.0)  # type: ignore[arg-type]
+        args = {key: value for key, value in span.items()
+                if key not in ("stage", "ts", "dur_s")}
+        out.append({"ph": "X", "pid": 0, "tid": tid,
+                    "ts": round(ts_us, 1), "dur": round(dur_us, 1),
+                    "name": stage or "span", "cat": "serve",
+                    "args": args})
+    for tid, name in sorted(seen_tids.items()):
+        out.append({"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                    "args": {"name": name}})
+    return out
 
 
 def validate_trace_record(record: object) -> Optional[str]:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import json
 import shutil
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -34,10 +35,14 @@ from repro.experiments.runner import (
     reap_orphan_tmp,
 )
 from repro.obs import runlog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import read_heartbeats
 from repro.obs.render import dashboard_from_records
+from repro.obs.trace import chrome_span_events
 from repro.serve import handlers
 from repro.serve.coalesce import Coalescer
 from repro.serve.queue import Job, JobCell, JobQueue, make_job
+from repro.serve.telemetry import Span, SpanRing, StageTimer, new_trace_id
 
 #: concurrent job-runner tasks (simulation parallelism lives below
 #: this, in each job's process pool)
@@ -80,6 +85,12 @@ class ServeApp:
         self.job_concurrency = max(1, job_concurrency)
         self.simulations = 0          # runs this daemon actually executed
         self.recovered_jobs: List[str] = []
+        self.metrics = MetricsRegistry()
+        # Request-lifecycle spans: bounded ring for the HTTP endpoint,
+        # per-job JSONL under queue/spans/ for offline `repro trace --job`.
+        self.spans = SpanRing(self.queue.directory / "spans")
+        self._lane_state: Dict[int, str] = {}   # drain lane -> idle/running
+        self._lane_job: Dict[int, str] = {}     # drain lane -> current job id
         self._wake = asyncio.Event()
         self._drainers: List["asyncio.Task[None]"] = []
         self._server: Optional[asyncio.AbstractServer] = None
@@ -130,9 +141,12 @@ class ServeApp:
     # ------------------------------------------------------------ draining
 
     async def _drain_loop(self, index: int) -> None:
+        self._lane_state[index] = "idle"
         while True:
             job = self._claim_next()
             if job is None:
+                self._lane_state[index] = "idle"
+                self._lane_job.pop(index, None)
                 self._wake.clear()
                 try:
                     # The timeout also picks up jobs written into the
@@ -141,6 +155,10 @@ class ServeApp:
                 except asyncio.TimeoutError:
                     pass
                 continue
+            self._lane_state[index] = "running"
+            self._lane_job[index] = job.id
+            self._span(job, "claim", time.time(), 0.0, lane=index,
+                       wait_s=round(time.time() - job.created_ts, 6))
             try:
                 await self._run_job(job)
             except asyncio.CancelledError:
@@ -163,10 +181,19 @@ class ServeApp:
     def heartbeat_dir_for(self, job_id: str) -> Path:
         return self.queue.directory / f"hb-{job_id}"
 
+    def _span(self, job: Job, stage: str, ts: float, dur_s: float,
+              **meta: object) -> None:
+        """Record one lifecycle span (ring + JSONL) and its latency."""
+        self.spans.record(Span(trace=job.trace, job=job.id, stage=stage,
+                               ts=ts, dur_s=dur_s, meta=dict(meta)))
+        self.metrics.observe("repro_stage_ns", int(dur_s * 1e9), stage=stage)
+
     async def _run_job(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
         request = job.request
-        runlog.emit("serve.job_start", job=job.id, cells=len(job.cells))
+        log_extra = {"trace": job.trace} if job.trace else {}
+        runlog.emit("serve.job_start", job=job.id, cells=len(job.cells),
+                    **log_extra)
         _, configs = handlers.parse_submission(dict(request))
         plan: SweepPlan = await loop.run_in_executor(None, lambda: plan_matrix(
             workloads=list(request["workloads"]),  # type: ignore[arg-type]
@@ -189,8 +216,16 @@ class ServeApp:
             is_owner, future = self.coalescer.claim(item.key)
             if is_owner:
                 owned.append(item)
+                self.metrics.inc("repro_coalesce_owned_total")
             else:
                 waited[item.key] = future
+                self.metrics.inc("repro_coalesce_hits_total")
+        cached_cells = sum(1 for cell in cells.values()
+                           if cell.state == "cached")
+        if cached_cells:
+            self.metrics.inc("repro_cache_hits_total", cached_cells)
+        if plan.pending:
+            self.metrics.inc("repro_cache_misses_total", len(plan.pending))
         self.queue.save(job)
 
         failures_by_key: Dict[str, str] = {}
@@ -209,37 +244,45 @@ class ServeApp:
                 loop.call_soon_threadsafe(self._record_landed, job, cells,
                                           item.key, record)
 
-            try:
-                failures = await loop.run_in_executor(
-                    None, lambda: execute_plan(
-                        sub_plan, jobs=self.workers or None, quiet=True,
-                        heartbeat_dir=str(hb_dir),
-                        jsonl_path=str(self.cache_root / "progress.jsonl"),
-                        on_record=on_record))
-            finally:
-                shutil.rmtree(hb_dir, ignore_errors=True)
-                # Any owned key not resolved by on_record (failed run,
-                # or execute_plan itself blew up) must release its
-                # waiters.
-                for item in owned:
-                    self.coalescer.fail(
-                        item.key, f"run {item.spec.workload} on "
-                                  f"{item.spec.config.name} did not "
-                                  f"complete")
+            with StageTimer() as sim_t:
+                try:
+                    failures = await loop.run_in_executor(
+                        None, lambda: execute_plan(
+                            sub_plan, jobs=self.workers or None, quiet=True,
+                            heartbeat_dir=str(hb_dir),
+                            jsonl_path=str(self.cache_root
+                                           / "progress.jsonl"),
+                            on_record=on_record, trace=job.trace))
+                finally:
+                    shutil.rmtree(hb_dir, ignore_errors=True)
+                    # Any owned key not resolved by on_record (failed run,
+                    # or execute_plan itself blew up) must release its
+                    # waiters.
+                    for item in owned:
+                        self.coalescer.fail(
+                            item.key, f"run {item.spec.workload} on "
+                                      f"{item.spec.config.name} did not "
+                                      f"complete")
+            self._span(job, "simulate", sim_t.ts, sim_t.dur_s,
+                       owned=len(owned))
             for failure in failures:
                 for item in owned:
                     if (item.spec.workload == failure.workload
                             and item.spec.config.name == failure.config):
                         failures_by_key[item.key] = failure.summary()
 
-        for key, future in waited.items():
-            try:
-                await future
-            except Exception as exc:
-                failures_by_key.setdefault(key, str(exc))
-            else:
-                if cells[key].state == "pending":
-                    cells[key].state = "coalesced"
+        if waited:
+            with StageTimer() as wait_t:
+                for key, future in waited.items():
+                    try:
+                        await future
+                    except Exception as exc:
+                        failures_by_key.setdefault(key, str(exc))
+                    else:
+                        if cells[key].state == "pending":
+                            cells[key].state = "coalesced"
+            self._span(job, "coalesce-wait", wait_t.ts, wait_t.dur_s,
+                       cells=len(waited))
 
         for key, cell in cells.items():
             if key in failures_by_key:
@@ -256,15 +299,23 @@ class ServeApp:
                 for key, message in sorted(failures_by_key.items()))
         else:
             job.state = "done"
-        self.queue.save(job)
+        with StageTimer() as respond_t:
+            self.queue.save(job)
+        self._span(job, "respond", respond_t.ts, respond_t.dur_s,
+                   state=job.state)
+        self.metrics.inc("repro_jobs_total", outcome=job.state)
         runlog.emit("serve.job_end", job=job.id, state=job.state,
                     simulated=sum(1 for cell in job.cells
-                                  if cell.state == "simulated"))
+                                  if cell.state == "simulated"),
+                    **log_extra)
         self._wake.set()
 
     def _record_landed(self, job: Job, cells: Dict[str, JobCell],
                        key: str, record: RunRecord) -> None:
         self.simulations += 1
+        self.metrics.inc("repro_simulations_total")
+        self._span(job, "cache-write", time.time(), 0.0, key=key,
+                   workload=record.workload, config=record.config)
         self.coalescer.resolve(key, record)
         cell = cells.get(key)
         if cell is not None and cell.state == "pending":
@@ -279,11 +330,16 @@ class ServeApp:
             try:
                 method, path, headers, body = await _read_request(reader)
             except _HttpError as exc:
+                self.metrics.inc("repro_http_requests_total",
+                                 endpoint="invalid", status=str(exc.status))
                 await _respond(writer, exc.status,
                                {"error": exc.message})
                 return
             status, payload, extra = await self._dispatch(method, path,
                                                           headers, body)
+            self.metrics.inc("repro_http_requests_total",
+                             endpoint=_endpoint_label(path),
+                             status=str(status))
             await _respond(writer, status, payload, extra)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange
@@ -300,18 +356,26 @@ class ServeApp:
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return 200, self._health_payload(), {}
+        if path == "/metrics" and method == "GET":
+            return 200, self.metrics_text().encode("utf-8"), {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
         if path == "/runs" and method == "POST":
             return self._submit(body)
         if path.startswith("/runs/") and method == "GET":
-            return self._job_status(path[len("/runs/"):])
+            rest = path[len("/runs/"):]
+            if rest.endswith("/trace"):
+                return self._job_trace(rest[: -len("/trace")])
+            return self._job_status(rest)
         if path.startswith("/records/") and method == "GET":
             key = path[len("/records/"):]
+            self.metrics.inc("repro_record_requests_total")
             status, etag, raw = handlers.record_response(
                 self.runs_dir, key, headers.get("if-none-match", ""))
             if status == 200:
                 return 200, raw, {"ETag": etag,
                                   "Content-Type": "application/json"}
             if status == 304:
+                self.metrics.inc("repro_record_304_total")
                 return 304, b"", {"ETag": etag}
             if status == 400:
                 return 400, {"error": f"malformed record key {key!r}"}, {}
@@ -321,35 +385,88 @@ class ServeApp:
                 None, self._dashboard_html)
             return 200, html.encode("utf-8"), {
                 "Content-Type": "text/html; charset=utf-8"}
-        if path in ("/healthz", "/runs", "/dashboard") \
+        if path in ("/healthz", "/runs", "/dashboard", "/metrics") \
                 or path.startswith(("/runs/", "/records/")):
             return 405, {"error": f"{method} not allowed on {path}"}, {}
         return 404, {"error": f"no such endpoint {path!r}"}, {}
 
+    def _lane_states(self) -> Dict[str, int]:
+        """Per-state drain-lane counts for health and metrics.
+
+        A running lane turns ``stalled`` when every heartbeat of the job
+        it is executing has gone stale (dead or wedged workers — the
+        :func:`~repro.obs.progress.read_heartbeats` staleness logic).
+        """
+        states = {"idle": 0, "running": 0, "stalled": 0}
+        for index in range(self.job_concurrency):
+            state = self._lane_state.get(index, "idle")
+            if state == "running":
+                job_id = self._lane_job.get(index, "")
+                beats = (read_heartbeats(str(self.heartbeat_dir_for(job_id)))
+                         if job_id else [])
+                if beats and all(beat.get("stale") for beat in beats):
+                    state = "stalled"
+            states[state] = states.get(state, 0) + 1
+        return states
+
+    def _refresh_gauges(self) -> None:
+        """Re-derive every sampled gauge just before exposition."""
+        counts = self.queue.counts()
+        depth = counts.get("pending", 0) + counts.get("running", 0)
+        self.metrics.set("repro_queue_depth", depth)
+        oldest = 0.0
+        for queued in self.queue.jobs():   # oldest-first ordering
+            if queued.state in ("pending", "running"):
+                oldest = round(time.time() - queued.created_ts, 3)
+                break
+        self.metrics.set("repro_queue_oldest_age_seconds", max(oldest, 0.0))
+        self.metrics.set("repro_coalesce_inflight", len(self.coalescer))
+        for state, count in self._lane_states().items():
+            self.metrics.set("repro_worker_lanes", count, state=state)
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition (``GET /metrics``, ``--metrics-out``)."""
+        self._refresh_gauges()
+        return self.metrics.render()
+
     def _health_payload(self) -> dict:
+        counts = self.queue.counts()
         return {
             "ok": True,
             "version": _version(),
-            "jobs": self.queue.counts(),
+            "jobs": counts,
+            "queue_depth": (counts.get("pending", 0)
+                            + counts.get("running", 0)),
             "simulations": self.simulations,
             "inflight": len(self.coalescer),
+            "lanes": self._lane_states(),
+            "uptime_s": round(time.time() - self.metrics.started_ts, 3),
         }
 
     def _submit(self, body: bytes) -> Tuple[int, object, Dict[str, str]]:
-        try:
-            payload = json.loads(body.decode("utf-8")) if body else {}
-        except (ValueError, UnicodeDecodeError):
-            return 400, {"error": "body is not valid JSON"}, {}
-        try:
-            request, configs = handlers.parse_submission(payload)
-        except handlers.BadRequest as exc:
-            return 400, {"error": str(exc)}, {}
-        job = make_job(request, handlers.build_cells(request, configs))
-        self.queue.submit(job)
+        trace = new_trace_id()
+        with StageTimer() as validate_t:
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (ValueError, UnicodeDecodeError):
+                return 400, {"error": "body is not valid JSON"}, {}
+            try:
+                request, configs = handlers.parse_submission(payload)
+            except handlers.BadRequest as exc:
+                return 400, {"error": str(exc)}, {}
+            cells = handlers.build_cells(request, configs)
+        job = make_job(request, cells, trace=trace)
+        self._span(job, "validate", validate_t.ts, validate_t.dur_s,
+                   cells=len(cells))
+        with StageTimer() as enqueue_t:
+            self.queue.submit(job)
+        self._span(job, "enqueue", enqueue_t.ts, enqueue_t.dur_s)
         self._wake.set()
-        runlog.emit("serve.submit", job=job.id, cells=len(job.cells))
+        runlog.emit("serve.submit", job=job.id, cells=len(job.cells),
+                    trace=trace)
         return 201, handlers.job_payload(job), {
-            "Location": f"/runs/{job.id}"}
+            "Location": f"/runs/{job.id}",
+            "X-Trace-Id": trace}
 
     def _job_status(self, job_id: str) -> Tuple[int, object,
                                                 Dict[str, str]]:
@@ -361,6 +478,16 @@ class ServeApp:
         return 200, handlers.job_payload(
             job, heartbeat_dir=self.heartbeat_dir_for(job_id),
             progress_path=self.cache_root / "progress.jsonl"), {}
+
+    def _job_trace(self, job_id: str) -> Tuple[int, object,
+                                               Dict[str, str]]:
+        """``GET /runs/<id>/trace``: the job's spans as Chrome JSON."""
+        if not job_id.isalnum():
+            return 400, {"error": f"malformed job id {job_id!r}"}, {}
+        spans = self.spans.for_job(job_id)
+        if not spans and self.queue.load(job_id) is None:
+            return 404, {"error": f"no such job {job_id!r}"}, {}
+        return 200, {"traceEvents": chrome_span_events(spans)}, {}
 
     def _dashboard_html(self) -> str:
         records = handlers.load_all_records(self.runs_dir)
@@ -375,6 +502,20 @@ def _cell_key(cells: Dict[str, JobCell], workload: str,
         if cell.workload == workload and cell.config == config_name:
             return key
     return None
+
+
+def _endpoint_label(path: str) -> str:
+    """Low-cardinality endpoint label for the request counter (raw
+    paths would mint one series per job/record id)."""
+    path = path.split("?", 1)[0]
+    if path in ("/healthz", "/runs", "/dashboard", "/metrics"):
+        return path
+    if path.startswith("/runs/"):
+        return ("/runs/:id/trace" if path.endswith("/trace")
+                else "/runs/:id")
+    if path.startswith("/records/"):
+        return "/records/:key"
+    return "other"
 
 
 # ---------------------------------------------------------------- HTTP io
@@ -442,10 +583,38 @@ async def _respond(writer: asyncio.StreamWriter, status: int,
 # ---------------------------------------------------------------- CLI entry
 
 
+#: seconds between two ``--metrics-out`` snapshot writes
+METRICS_SNAPSHOT_S = 5.0
+
+
+def write_metrics_snapshot(app: ServeApp, path: Path) -> None:
+    """One atomic exposition-text snapshot (the ``--metrics-out`` unit)."""
+    text = app.metrics_text()
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)
+    except OSError:
+        pass  # metrics must never take the daemon down
+
+
+async def _metrics_snapshot_loop(app: ServeApp, path: Path) -> None:
+    while True:
+        write_metrics_snapshot(app, path)
+        await asyncio.sleep(METRICS_SNAPSHOT_S)
+
+
 def serve_forever(host: str = "127.0.0.1", port: int = 8765,
                   workers: int = 0,
-                  job_concurrency: int = JOB_CONCURRENCY) -> int:
-    """Run the daemon until interrupted (the ``repro serve`` body)."""
+                  job_concurrency: int = JOB_CONCURRENCY,
+                  metrics_out: str = "") -> int:
+    """Run the daemon until interrupted (the ``repro serve`` body).
+
+    ``metrics_out`` names a file that receives the Prometheus exposition
+    text every few seconds (atomic replace) — scrapeable without HTTP
+    access, e.g. by a CI artifact step or a node-exporter textfile
+    collector.
+    """
 
     async def _amain() -> int:
         app = ServeApp(workers=workers, job_concurrency=job_concurrency)
@@ -456,12 +625,19 @@ def serve_forever(host: str = "127.0.0.1", port: int = 8765,
               f"{workers or 'auto'}, {app.job_concurrency} job lane(s)"
               + (f", recovered {len(app.recovered_jobs)} job(s)"
                  if app.recovered_jobs else "") + ")")
-        print("endpoints: POST /runs, GET /runs/<id>, GET /records/<key>, "
-              "GET /dashboard, GET /healthz")
+        print("endpoints: POST /runs, GET /runs/<id>, GET /runs/<id>/trace, "
+              "GET /records/<key>, GET /dashboard, GET /metrics, "
+              "GET /healthz")
+        snapshot: Optional["asyncio.Task[None]"] = None
+        if metrics_out:
+            snapshot = asyncio.ensure_future(
+                _metrics_snapshot_loop(app, Path(metrics_out)))
         try:
             async with server:
                 await server.serve_forever()
         finally:
+            if snapshot is not None:
+                snapshot.cancel()
             await app.stop()
         return 0
 

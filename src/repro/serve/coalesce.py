@@ -22,10 +22,17 @@ from typing import Dict, Tuple
 
 
 class Coalescer:
-    """In-flight run registry keyed by run cache key."""
+    """In-flight run registry keyed by run cache key.
+
+    Keeps its own lifetime counters (``owned_total`` / ``hits_total``)
+    so the `/metrics` endpoint can report the coalesce hit ratio without
+    the app shadow-counting every claim.
+    """
 
     def __init__(self) -> None:
         self._inflight: Dict[str, "asyncio.Future[object]"] = {}
+        self.owned_total = 0
+        self.hits_total = 0
 
     def __len__(self) -> int:
         return len(self._inflight)
@@ -36,9 +43,11 @@ class Coalescer:
         the shared future instead."""
         future = self._inflight.get(key)
         if future is not None:
+            self.hits_total += 1
             return False, future
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
+        self.owned_total += 1
         return True, future
 
     def resolve(self, key: str, result: object) -> None:

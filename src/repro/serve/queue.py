@@ -50,6 +50,9 @@ class Job:
     request: Dict[str, object]
     cells: List[JobCell] = field(default_factory=list)
     error: str = ""
+    #: correlation id minted at submission; threads through every span,
+    #: runlog event and heartbeat this job produces ("" on pre-PR-9 jobs)
+    trace: str = ""
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -72,7 +75,8 @@ class Job:
         return Job(id=data["id"], state=data["state"],
                    created_ts=float(data["created_ts"]),
                    request=dict(data["request"]), cells=cells,
-                   error=str(data.get("error", "")))
+                   error=str(data.get("error", "")),
+                   trace=str(data.get("trace", "")))
 
 
 def new_job_id() -> str:
@@ -152,8 +156,9 @@ class JobQueue:
         return recovered
 
 
-def make_job(request: Dict[str, object], cells: List[JobCell]) -> Job:
+def make_job(request: Dict[str, object], cells: List[JobCell],
+             trace: str = "") -> Job:
     """A freshly submitted (pending) job document."""
     return Job(id=new_job_id(), state="pending",
                created_ts=round(time.time(), 3), request=request,
-               cells=cells)
+               cells=cells, trace=trace)

@@ -3,11 +3,12 @@
 Every JSON body the daemon emits belongs to one of four kinds:
 
 * ``health`` — ``GET /healthz``: ``ok``, ``version``, per-state job
-  counts, the daemon's simulation counter, and the number of in-flight
-  coalesced cells;
+  counts, queue depth, per-state drain-lane counts (idle / running /
+  stalled), uptime, the daemon's simulation counter, and the number of
+  in-flight coalesced cells;
 * ``job`` — ``POST /runs`` and ``GET /runs/<id>``: the persistent job
-  document (id, state, request echo, per-cell states) plus, on GET, a
-  live ``progress`` block;
+  document (id, state, correlation ``trace`` id, request echo, per-cell
+  states) plus, on GET, a live ``progress`` block;
 * ``record`` — ``GET /records/<key>``: a cached
   :class:`~repro.experiments.records.RunRecord` exactly as stored in
   ``.repro_cache/runs/<key>.json``;
@@ -37,6 +38,10 @@ CELL_STATES = ("pending", "cached", "simulated", "coalesced", "failed")
 #: payload kinds understood by :func:`validate_payload`
 KINDS = ("health", "job", "record", "error")
 
+#: drain-lane states reported by health's ``lanes`` block and the
+#: ``repro_worker_lanes`` metric
+LANE_STATES = ("idle", "running", "stalled")
+
 
 def _require(payload: Dict[str, object], name: str, types,
              problems: List[str], kind: str) -> object:
@@ -58,11 +63,19 @@ def _validate_health(payload: Dict[str, object]) -> List[str]:
     _require(payload, "version", str, problems, "health")
     _require(payload, "simulations", int, problems, "health")
     _require(payload, "inflight", int, problems, "health")
+    _require(payload, "queue_depth", int, problems, "health")
+    _require(payload, "uptime_s", (int, float), problems, "health")
     jobs = _require(payload, "jobs", dict, problems, "health")
     if isinstance(jobs, dict):
         for state in JOB_STATES:
             if not isinstance(jobs.get(state), int):
                 problems.append(f"health: jobs[{state!r}] missing or "
+                                f"not an int")
+    lanes = _require(payload, "lanes", dict, problems, "health")
+    if isinstance(lanes, dict):
+        for state in LANE_STATES:
+            if not isinstance(lanes.get(state), int):
+                problems.append(f"health: lanes[{state!r}] missing or "
                                 f"not an int")
     return problems
 
@@ -89,6 +102,9 @@ def _validate_job(payload: Dict[str, object]) -> List[str]:
         problems.append(f"job: state {state!r} not in {JOB_STATES}")
     _require(payload, "created_ts", (int, float), problems, "job")
     _require(payload, "error", str, problems, "job")
+    # correlation id; "" on jobs submitted by pre-tracing daemons
+    if "trace" in payload and not isinstance(payload["trace"], str):
+        problems.append("job: trace must be a string when present")
     request = _require(payload, "request", dict, problems, "job")
     if isinstance(request, dict):
         for name in ("instructions", "seed", "warmup", "nodes"):

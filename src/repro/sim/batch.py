@@ -43,6 +43,7 @@ tracer hooks are no-ops on the hit path).
 
 from __future__ import annotations
 
+from time import perf_counter_ns as _perf_ns
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 try:
@@ -218,6 +219,10 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
     telemetry = sim.telemetry
     tele_tick = telemetry.tick if telemetry is not None else None
     tele_access = telemetry.on_access if telemetry is not None else None
+    profiler = getattr(sim, "profiler", None)
+    prof_slow_start = profiler.slow_start if profiler is not None else None
+    prof_slow_done = profiler.slow_done if profiler is not None else None
+    prof_chunk_done = profiler.chunk_done if profiler is not None else None
     core_time = sim._core_time
     issue_interval = sim._issue_interval
     mshr_inserts = sim._mshr_inserts
@@ -262,6 +267,7 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
     f_i = f_d = f_w = 0          # fast accesses per side / fast stores
     b_i = b_d = 0                # recorded L1 buckets at lat_fast
 
+    prof_t = _perf_ns() if prof_chunk_done is not None else 0
     for cores_c, kinds_c, vaddrs_c in _chunk_stream(
             workload, warmup + n_instructions, seed, chunk):
         n = len(cores_c)
@@ -444,7 +450,13 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
                                     tele_access(hit_l1, lat_fast)
                             continue
 
-            # -- slow tail: the full state machine, untouched.
+            # -- slow tail: the full state machine, untouched.  The
+            # profiler (observation only — no state is touched) times
+            # each fallback dispatch and attributes it via the events
+            # the machine emits under it.
+            if prof_slow_start is not None:
+                prof_slow_start()
+                slow_t0 = _perf_ns()
             if kcode == 2:
                 shell = st_shells[core]
                 mutate(shell, "vaddr", vaddr)
@@ -456,6 +468,8 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
                 outcome = machine_access(shell, paddr)
                 if check_values:
                     check_load(line, outcome.version)
+            if prof_slow_done is not None:
+                prof_slow_done(_perf_ns() - slow_t0)
             key = (line << core_shift) | core
             completion = outstanding.get(key)
             if completion is not None and completion <= now:
@@ -530,6 +544,10 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
             bucket.count += b_d
             bucket.total_latency += b_d * lat_fast
             b_d = 0
+        if prof_chunk_done is not None:
+            now_ns = _perf_ns()
+            prof_chunk_done(now_ns - prof_t)
+            prof_t = now_ns
 
     result.instructions = instructions
     result.accesses = accesses
@@ -581,6 +599,10 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
     telemetry = sim.telemetry
     tele_tick = telemetry.tick if telemetry is not None else None
     tele_access = telemetry.on_access if telemetry is not None else None
+    profiler = getattr(sim, "profiler", None)
+    prof_slow_start = profiler.slow_start if profiler is not None else None
+    prof_slow_done = profiler.slow_done if profiler is not None else None
+    prof_chunk_done = profiler.chunk_done if profiler is not None else None
     core_time = sim._core_time
     issue_interval = sim._issue_interval
     mshr_inserts = sim._mshr_inserts
@@ -628,6 +650,7 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
     b_i = b_d = 0                       # but flushing per core is exact
     #                                     either way)
 
+    prof_t = _perf_ns() if prof_chunk_done is not None else 0
     for cores_c, kinds_c, vaddrs_c in _chunk_stream(
             workload, warmup + n_instructions, seed, chunk):
         n = len(cores_c)
@@ -780,6 +803,9 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
                             continue
 
             # -- slow tail.
+            if prof_slow_start is not None:
+                prof_slow_start()
+                slow_t0 = _perf_ns()
             if kcode == 2:
                 shell = st_shells[core]
                 mutate(shell, "vaddr", vaddr)
@@ -791,6 +817,8 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
                 outcome = machine_access(shell, paddr)
                 if check_values:
                     check_load(line, outcome.version)
+            if prof_slow_done is not None:
+                prof_slow_done(_perf_ns() - slow_t0)
             key = (line << core_shift) | core
             completion = outstanding.get(key)
             if completion is not None and completion <= now:
@@ -868,6 +896,10 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
             bucket.count += b_d
             bucket.total_latency += b_d * lat_fast
             b_d = 0
+        if prof_chunk_done is not None:
+            now_ns = _perf_ns()
+            prof_chunk_done(now_ns - prof_t)
+            prof_t = now_ns
 
     result.instructions = instructions
     result.accesses = accesses

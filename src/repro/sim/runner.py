@@ -72,6 +72,8 @@ class RunSpec:
     check_invariants: bool = False  # full invariant walk on the final state
     telemetry: bool = False       # collect histogram telemetry (obs package)
     batched: bool = False         # batched fast-path driver (repro.sim.batch)
+    profile: bool = False         # slow-tail attribution (implies batched)
+    trace: str = ""               # serve-layer correlation id ("" = none)
 
 
 @dataclass
@@ -87,12 +89,17 @@ class RunOutcome:
     invariants_ok: bool = True      # walk passed (vacuously True otherwise)
     invariant_error: str = ""       # first violation message when not ok
     telemetry: Optional[object] = None  # obs.telemetry.Telemetry when collected
+    profile: Optional[Dict[str, object]] = None  # slow-tail attribution digest
 
     def hist_summaries(self) -> Dict[str, Dict[str, float]]:
         """Histogram percentile digests ({} when telemetry was off)."""
         if self.telemetry is None:
             return {}
         return self.telemetry.summaries()  # type: ignore[attr-defined]
+
+    def profile_summary(self) -> Dict[str, object]:
+        """The attribution profile digest ({} when profiling was off)."""
+        return dict(self.profile) if self.profile else {}
 
     # -- Figure 5 ---------------------------------------------------------
 
@@ -176,7 +183,9 @@ def run_workload(config: SystemConfig, workload_name: str,
                  telemetry: Optional[bool] = None,
                  tracer: Optional[object] = None,
                  heartbeat: Optional[object] = None,
-                 batched: Optional[bool] = None) -> RunOutcome:
+                 batched: Optional[bool] = None,
+                 profile: bool = False,
+                 trace: str = "") -> RunOutcome:
     """Simulate one workload on one system configuration.
 
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` (or
@@ -199,12 +208,20 @@ def run_workload(config: SystemConfig, workload_name: str,
     ``batched=None`` defaults from ``REPRO_BATCHED``; when on, the run
     uses the batched fast-path driver (:mod:`repro.sim.batch`), whose
     statistics are bit-identical to the scalar loop.
+
+    ``profile`` attaches the slow-tail attribution profiler
+    (:mod:`repro.obs.profile`) and forces the batched driver — the
+    fast/slow split it measures only exists there.  ``trace`` is the
+    serve-layer correlation id; it rides on this run's log events (and
+    is otherwise inert).
     """
     budget = instructions or instruction_budget()
     roi_warmup = warmup if warmup is not None else warmup_budget(budget)
     do_sanitize = sanitize if sanitize is not None else sanitize_default()
     do_telemetry = telemetry if telemetry is not None else telemetry_default()
     do_batched = batched if batched is not None else batched_default()
+    if profile:
+        do_batched = True
     every = (sanitize_every if sanitize_every is not None
              else sanitize_every_default())
     hierarchy = build_hierarchy(config)
@@ -225,16 +242,24 @@ def run_workload(config: SystemConfig, workload_name: str,
     if tracer is not None:
         from repro.obs.trace import attach_tracer
         attach_tracer(hierarchy, tracer)
+    profiler = None
+    if profile:
+        from repro.obs.profile import AttributionProfiler
+        from repro.obs.trace import attach_tracer
+        profiler = AttributionProfiler()
+        profiler.attached = attach_tracer(hierarchy, profiler)
+        profiler.bind(hierarchy)
     workload = make_workload(workload_name, config.nodes, hierarchy.amap,
                              seed=seed)
     from repro.obs import runlog
+    log_extra: Dict[str, object] = {"trace": trace} if trace else {}
     runlog.emit("run.start", workload=workload_name, config=config.name,
                 instructions=budget, warmup=roi_warmup, seed=seed,
                 sanitize=do_sanitize, telemetry=do_telemetry,
-                batched=do_batched)
+                batched=do_batched, **log_extra)
     started = _time.monotonic()
     simulator = Simulator(hierarchy, check_values=check_values,
-                          telemetry=tele)
+                          telemetry=tele, profiler=profiler)
     result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup,
                            batched=do_batched)
     if tele is not None:
@@ -244,7 +269,8 @@ def run_workload(config: SystemConfig, workload_name: str,
     runlog.emit("run.end", workload=workload_name, config=config.name,
                 instructions=result.instructions, accesses=result.accesses,
                 cycles=perf.cycles, elapsed_s=round(elapsed, 3),
-                ips=round(result.accesses / elapsed, 1) if elapsed else 0.0)
+                ips=round(result.accesses / elapsed, 1) if elapsed else 0.0,
+                **log_extra)
     invariants_checked = False
     invariants_ok = True
     invariant_error = ""
@@ -260,7 +286,8 @@ def run_workload(config: SystemConfig, workload_name: str,
         spec=RunSpec(config, workload_name, budget, seed, check_values,
                      roi_warmup, sanitize=do_sanitize, sanitize_every=every,
                      check_invariants=check_invariants,
-                     telemetry=do_telemetry, batched=do_batched),
+                     telemetry=do_telemetry, batched=do_batched,
+                     profile=profile, trace=trace),
         result=result,
         perf=perf,
         hierarchy=hierarchy,
@@ -271,6 +298,7 @@ def run_workload(config: SystemConfig, workload_name: str,
         invariants_ok=invariants_ok,
         invariant_error=invariant_error,
         telemetry=tele if do_telemetry else None,
+        profile=profiler.summary() if profiler is not None else None,
     )
 
 
@@ -282,7 +310,8 @@ def run_spec(spec: RunSpec) -> RunOutcome:
     can render live per-worker progress.
     """
     from repro.obs.progress import Heartbeat
-    heartbeat = Heartbeat.from_env(f"{spec.workload}/{spec.config.name}")
+    heartbeat = Heartbeat.from_env(f"{spec.workload}/{spec.config.name}",
+                                   trace=spec.trace)
     return run_workload(spec.config, spec.workload, spec.instructions,
                         spec.seed, check_values=spec.check_values,
                         warmup=spec.warmup, sanitize=spec.sanitize,
@@ -290,7 +319,9 @@ def run_spec(spec: RunSpec) -> RunOutcome:
                         check_invariants=spec.check_invariants,
                         telemetry=spec.telemetry or None,
                         heartbeat=heartbeat,
-                        batched=spec.batched or None)
+                        batched=spec.batched or None,
+                        profile=spec.profile,
+                        trace=spec.trace)
 
 
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],

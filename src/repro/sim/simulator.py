@@ -105,11 +105,15 @@ class Simulator:
     """Drives one workload through one hierarchy."""
 
     def __init__(self, hierarchy: Any, check_values: bool = True,
-                 telemetry: Optional[Any] = None) -> None:
+                 telemetry: Optional[Any] = None,
+                 profiler: Optional[Any] = None) -> None:
         self.hierarchy = hierarchy
         self.check_values = check_values
         #: optional repro.obs.telemetry.Telemetry sink; None = zero cost
         self.telemetry = telemetry
+        #: optional repro.obs.profile.AttributionProfiler; consumed by the
+        #: batched driver only (the scalar loop has no fast/slow split)
+        self.profiler = profiler
         self.oracle = VersionOracle()
         self._core_time: Dict[int, float] = {}
         self._outstanding: Dict[Tuple[int, int], float] = {}

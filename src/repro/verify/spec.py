@@ -740,3 +740,50 @@ WAIVERS: Dict[Tuple[str, str, str], str] = {
         "read accessor's dict-get default for untracked lines, not a "
         "state write",
 }
+
+
+# ---------------------------------------------------------------------------
+# Read-only coverage indices (consumed by the slow-tail profiler)
+# ---------------------------------------------------------------------------
+
+def coverage_event_index(spec_name: str = "d2m"
+                         ) -> Dict[str, Tuple[Tuple[str, str], ...]]:
+    """``emit`` coverage signatures inverted into a lookup table.
+
+    Maps each tracer event kind to ``((detail_prefix, tid), ...)`` —
+    longest prefix first, so an observed ``(kind, detail)`` pair resolves
+    to the most specific transition claiming it (``""`` matches any
+    detail).  Built from the same ``coverage=("emit:<kind>[:<detail>]",)``
+    signatures runtime coverage uses; purely derived, mutates nothing.
+    """
+    spec = SPECS[spec_name]
+    table: Dict[str, list] = {}
+    for transition in spec.transitions:
+        for signature in transition.coverage:
+            if not signature.startswith("emit:"):
+                continue
+            rest = signature[len("emit:"):]
+            kind, _, prefix = rest.partition(":")
+            table.setdefault(kind, []).append((prefix, transition.tid))
+    return {kind: tuple(sorted(entries,
+                               key=lambda item: -len(item[0])))
+            for kind, entries in table.items()}
+
+
+def coverage_stat_index(spec_name: str = "d2m", group: str = "events"
+                        ) -> Dict[str, str]:
+    """``stat:<group>.<key>`` coverage signatures as ``{key: tid}``.
+
+    The A/B/C/E/F taxonomy transitions are covered through the protocol's
+    ``events`` :class:`~repro.common.stats.StatGroup` rather than tracer
+    emits; the profiler diffs that group around each slow-tail access and
+    attributes its time through this index.
+    """
+    spec = SPECS[spec_name]
+    needle = f"stat:{group}."
+    out: Dict[str, str] = {}
+    for transition in spec.transitions:
+        for signature in transition.coverage:
+            if signature.startswith(needle):
+                out[signature[len(needle):]] = transition.tid
+    return out

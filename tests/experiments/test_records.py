@@ -63,3 +63,32 @@ class TestHistDigests:
                          instructions=100).to_json()
         del data["hists"]
         assert RunRecord.from_json(data).hists == {}
+
+
+class TestProfileDigest:
+    def test_unprofiled_run_leaves_profile_empty(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4)
+        assert record_from_outcome(out, "HPC").profile == {}
+
+    def test_profiled_run_persists_the_digest(self):
+        from repro.obs.profile import validate_profile
+
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4,
+                           profile=True)
+        rec = record_from_outcome(out, "HPC")
+        assert rec.profile
+        assert validate_profile(rec.profile) == []
+        assert rec.profile["slow_accesses"] > 0
+
+    def test_profile_survives_json_roundtrip(self):
+        out = run_workload(d2m_ns_r(4), "water", instructions=2_000, seed=4,
+                           profile=True)
+        rec = record_from_outcome(out, "HPC")
+        again = RunRecord.from_json(rec.to_json())
+        assert again.profile == rec.profile
+
+    def test_old_record_without_profile_field_still_loads(self):
+        data = RunRecord(workload="w", category="HPC", config="Base-2L",
+                         instructions=100).to_json()
+        del data["profile"]
+        assert RunRecord.from_json(data).profile == {}

@@ -87,6 +87,48 @@ class TestTelemetryCacheInterplay:
                             telemetry=False)
         assert matrix["water"]["D2M-FS"].hists
 
+    def test_profile_request_re_misses_unprofiled_records(self, cache):
+        from repro.obs.profile import validate_profile
+
+        get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        [path] = run_files(cache)
+        assert json.loads(path.read_text())["profile"] == {}
+        before = path.stat().st_mtime_ns
+        matrix = get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                            instructions=1_000, seed=5, quiet=True, jobs=1,
+                            profile=True)
+        record = matrix["water"]["D2M-FS"]
+        assert record.profile and validate_profile(record.profile) == []
+        assert path.stat().st_mtime_ns != before  # re-simulated, profiled
+        # a profiled record then serves unprofiled sweeps from the cache
+        after = path.stat().st_mtime_ns
+        get_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                   instructions=1_000, seed=5, quiet=True, jobs=1)
+        assert path.stat().st_mtime_ns == after
+
+    def test_traced_sweep_stamps_runlog_and_specs(self, cache):
+        from repro.experiments.runner import execute_plan, plan_matrix
+        from repro.obs import runlog
+
+        plan = plan_matrix(workloads=["water"], configs=[d2m_fs(2)],
+                           instructions=1_000, seed=5)
+        log_path = cache / "runlog.jsonl"
+        runlog.configure(str(log_path))
+        try:
+            execute_plan(plan, quiet=True, jobs=1, trace="beef" * 4)
+        finally:
+            runlog.configure("")
+        events = [json.loads(line)
+                  for line in log_path.read_text().splitlines()]
+        sweeps = [e for e in events
+                  if e["event"] in ("sweep.start", "sweep.end")]
+        assert len(sweeps) == 2
+        assert all(e["trace"] == "beef" * 4 for e in sweeps)
+        # the correlation id was stamped onto the specs that ran
+        record = plan.matrix["water"]["D2M-FS"]
+        assert record is not None
+
     def test_progress_jsonl_written(self, cache):
         get_matrix(workloads=["water"], configs=[d2m_fs(2)],
                    instructions=1_000, seed=5, quiet=True, jobs=1)

@@ -1,0 +1,158 @@
+"""The metrics registry, its exposition, and the --metrics-schema lint."""
+
+import pytest
+
+from repro.obs.metrics import (
+    METRIC_SCHEMA,
+    MetricsRegistry,
+    validate_exposition,
+    validate_schema,
+)
+from tools.lint_repro import check_metrics_schema, main as lint_main
+
+
+class TestSchema:
+    def test_declared_schema_is_well_formed(self):
+        assert validate_schema() == []
+
+    def test_counter_names_must_end_in_total(self):
+        bad = {"repro_requests": ("counter", "h", ())}
+        assert any("_total" in p for p in validate_schema(bad))
+
+    def test_invalid_names_labels_and_types(self):
+        problems = validate_schema({
+            "Bad-Name": ("counter", "h", ()),
+            "repro_x_total": ("dial", "h", ()),
+            "repro_y_total": ("counter", "", ()),
+            "repro_z_total": ("counter", "h", ("le",)),
+            "repro_w_total": ("counter", "h", ("a", "a")),
+        })
+        assert any("invalid metric name" in p for p in problems)
+        assert any("unknown type" in p for p in problems)
+        assert any("help" in p for p in problems)
+        assert any("reserved" in p for p in problems)
+        assert any("duplicate" in p for p in problems)
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_http_requests_total",
+                     endpoint="/healthz", status="200")
+        registry.inc("repro_http_requests_total", 2,
+                     endpoint="/healthz", status="200")
+        assert registry.value("repro_http_requests_total",
+                              endpoint="/healthz", status="200") == 3
+        registry.set("repro_queue_depth", 7)
+        registry.set("repro_queue_depth", 2)
+        assert registry.value("repro_queue_depth") == 2
+        registry.observe("repro_stage_ns", 100, stage="validate")
+        registry.observe("repro_stage_ns", 100_000, stage="validate")
+        hist = registry.histogram("repro_stage_ns", stage="validate")
+        assert hist is not None and hist.count == 2
+        # untouched series read as zero / absent
+        assert registry.value("repro_cache_hits_total") == 0.0
+        assert registry.histogram("repro_stage_ns", stage="respond") is None
+
+    def test_mismatches_raise_immediately(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.inc("repro_made_up_total")
+        with pytest.raises(ValueError):  # gauge used as counter
+            registry.inc("repro_queue_depth")
+        with pytest.raises(ValueError):  # missing declared labels
+            registry.inc("repro_http_requests_total")
+        with pytest.raises(ValueError):  # undeclared label
+            registry.set("repro_queue_depth", 1, shard="a")
+        with pytest.raises(ValueError):  # counters are monotonic
+            registry.inc("repro_simulations_total", -1)
+
+    def test_render_is_schema_valid_exposition(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_http_requests_total",
+                     endpoint="/runs/:id", status="200")
+        registry.inc("repro_jobs_total", outcome="done")
+        registry.set("repro_worker_lanes", 2, state="idle")
+        registry.observe("repro_stage_ns", 12345, stage="simulate")
+        text = registry.render()
+        assert validate_exposition(text) == []
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert ('repro_http_requests_total'
+                '{endpoint="/runs/:id",status="200"} 1') in text
+        # histograms expose cumulative buckets plus +Inf/sum/count
+        assert 'repro_stage_ns_bucket{stage="simulate",le="+Inf"} 1' in text
+        assert 'repro_stage_ns_sum{stage="simulate"} 12345' in text
+        assert 'repro_stage_ns_count{stage="simulate"} 1' in text
+        # uptime is always present after a render
+        assert "repro_uptime_seconds" in text
+
+    def test_untouched_metrics_are_omitted(self):
+        text = MetricsRegistry().render()
+        assert "repro_http_requests_total" not in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_http_requests_total",
+                     endpoint='we"ird\\path', status="400")
+        text = registry.render()
+        assert 'we\\"ird\\\\path' in text
+        assert validate_exposition(text) == []
+
+
+class TestExpositionValidator:
+    def test_catches_undeclared_and_mistyped_metrics(self):
+        bad = ("# TYPE repro_unknown_total counter\n"
+               "repro_unknown_total 1\n")
+        assert any("undeclared" in p for p in validate_exposition(bad))
+        mistyped = ("# TYPE repro_queue_depth counter\n"
+                    "repro_queue_depth 1\n")
+        assert any("typed" in p for p in validate_exposition(mistyped))
+
+    def test_catches_label_mismatch_and_garbage(self):
+        bad = ("# TYPE repro_jobs_total counter\n"
+               'repro_jobs_total{shard="x"} 1\n')
+        assert any("labels" in p for p in validate_exposition(bad))
+        assert any("unparseable" in p
+                   for p in validate_exposition("!!! not a metric\n"))
+        bad_value = ("# TYPE repro_queue_depth gauge\n"
+                     "repro_queue_depth many\n")
+        assert any("non-numeric" in p
+                   for p in validate_exposition(bad_value))
+
+    def test_sample_before_type_line_is_flagged(self):
+        text = ("repro_queue_depth 1\n"
+                "# TYPE repro_queue_depth gauge\n")
+        assert any("precedes" in p for p in validate_exposition(text))
+
+
+class TestLintEntry:
+    def test_registry_self_check_passes_with_no_paths(self, capsys):
+        assert lint_main(["--metrics-schema"]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_valid_scrape_passes(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.inc("repro_simulations_total")
+        scrape = tmp_path / "metrics.txt"
+        scrape.write_text(registry.render())
+        assert lint_main(["--metrics-schema", str(scrape)]) == 0
+        assert "conform" in capsys.readouterr().out
+
+    def test_bad_scrape_fails(self, tmp_path):
+        scrape = tmp_path / "metrics.txt"
+        scrape.write_text("repro_unknown_total 3\n")
+        assert lint_main(["--metrics-schema", str(scrape)]) == 1
+
+    def test_empty_and_unreadable_files_are_problems(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        problems = check_metrics_schema([empty, tmp_path / "missing.txt"])
+        assert any("empty" in p for p in problems)
+        assert any("unreadable" in p for p in problems)
+
+    def test_every_declared_metric_has_help_and_type(self):
+        # the renderer derives HELP/TYPE from the schema; spot-check the
+        # contract stays total
+        for name, (mtype, help_text, _labels) in METRIC_SCHEMA.items():
+            assert help_text, name
+            assert mtype in ("counter", "gauge", "histogram"), name

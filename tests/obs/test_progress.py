@@ -43,6 +43,19 @@ class TestHeartbeat:
         beat.finish(300)  # finish always writes
         assert json.loads(path.read_text())["accesses"] == 300
 
+    def test_trace_id_rides_in_the_payload(self, tmp_path, monkeypatch):
+        path = tmp_path / "hb-2.json"
+        beat = Heartbeat(str(path), "water/D2M-NS-R", trace="a1b2" * 4)
+        beat.beat(10, force=True)
+        assert json.loads(path.read_text())["trace"] == "a1b2" * 4
+        # untraced runs omit the field entirely
+        plain = Heartbeat(str(path), "water/D2M-NS-R")
+        plain.beat(10, force=True)
+        assert "trace" not in json.loads(path.read_text())
+        # from_env threads the id through
+        monkeypatch.setenv(PROGRESS_DIR_ENV, str(tmp_path))
+        assert Heartbeat.from_env("x", trace="t" * 16).trace == "t" * 16
+
     def test_read_heartbeats_tolerates_garbage(self, tmp_path):
         (tmp_path / "hb-1.json").write_text('{"run": "a", "accesses": 1}')
         (tmp_path / "hb-2.json").write_text('{"torn')

@@ -6,12 +6,14 @@ from repro.obs.render import (
     delta_table,
     digest_panels,
     esc,
+    profile_panel,
     render_dashboard,
     speedup_color,
     speedup_matrix,
     svg_digest_bars,
     svg_heatmap,
     svg_pair_bars,
+    svg_profile_bars,
 )
 
 HISTS = {
@@ -91,6 +93,58 @@ class TestDigestCharts:
 
     def test_no_panels_for_all_empty(self):
         assert digest_panels({"latency.L1": {"count": 0.0}}) == ""
+
+
+PROFILE = {
+    "driver": "batched", "wall_s": 2.0, "fast_s": 1.2, "slow_s": 0.8,
+    "chunks": 8, "slow_accesses": 1200,
+    "classes": {"d2m.D1": {"s": 0.5, "n": 700},
+                "d2m.B": {"s": 0.3, "n": 500}},
+    "hists": {},
+}
+
+
+class TestProfilePanel:
+    def test_ranked_bars_most_expensive_first(self):
+        html = profile_panel(PROFILE)
+        assert "Slow-tail attribution" in html
+        assert "1200" in html and "8 chunks" in html
+        # ranking order shows in the SVG row order
+        assert html.index("d2m.D1") < html.index("d2m.B")
+        assert "0.5000s over 700 fallback accesses" in html
+
+    def test_empty_profile_renders_nothing(self):
+        assert profile_panel({}) == ""
+        assert profile_panel("nope") == ""
+
+    def test_profile_without_slow_accesses_says_so(self):
+        quiet = dict(PROFILE, classes={}, slow_accesses=0, slow_s=0.0)
+        html = profile_panel(quiet)
+        assert "no slow-tail accesses" in html
+
+    def test_display_limit_reports_hidden_rows(self):
+        wide = dict(PROFILE)
+        wide["classes"] = {f"d2m.T{i}": {"s": 0.1, "n": 1}
+                           for i in range(20)}
+        html = profile_panel(wide, limit=5)
+        assert "15 more" in html
+
+    def test_bars_scale_to_the_largest_class(self):
+        rows = [("d2m.D1", 0.5, 700), ("d2m.B", 0.25, 500)]
+        svg = svg_profile_bars(rows)
+        assert 'aria-label="slow-tail attribution"' in svg
+        assert svg.count("<rect") == 2
+
+    def test_dashboard_includes_the_panel_for_profiled_focus(self):
+        matrix = make_matrix()
+        matrix["water"]["D2M-NS-R"].profile.update(PROFILE)
+        html = render_dashboard(matrix, focus=("water", "D2M-NS-R"))
+        assert "Slow-tail attribution" in html
+        assert "d2m.D1" in html
+
+    def test_dashboard_omits_the_panel_without_a_profile(self):
+        html = render_dashboard(make_matrix(), focus=("water", "D2M-NS-R"))
+        assert "Slow-tail attribution" not in html
 
 
 class TestComparisonViews:

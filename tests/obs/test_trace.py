@@ -166,6 +166,12 @@ class TestValidateTraceRecord:
         assert "node" in validate_trace_record(
             {"seq": 0, "t": 0, "kind": "x", "node": True})
 
+    def test_optional_trace_correlation_id(self):
+        assert validate_trace_record(
+            {"seq": 0, "t": 1, "kind": "access", "trace": "a" * 16}) is None
+        assert "trace" in validate_trace_record(
+            {"seq": 0, "t": 1, "kind": "access", "trace": 42})
+
     def test_unknown_field(self):
         assert "bogus" in validate_trace_record(
             {"seq": 0, "t": 0, "kind": "x", "bogus": 1})

@@ -259,6 +259,154 @@ class TestCoalescing:
             assert len(list((cache / "runs").glob("*.json"))) == 1
 
 
+class TestEndpointLabels:
+    def test_labels_stay_low_cardinality(self):
+        from repro.serve.app import _endpoint_label
+
+        assert _endpoint_label("/healthz") == "/healthz"
+        assert _endpoint_label("/metrics") == "/metrics"
+        assert _endpoint_label("/runs") == "/runs"
+        assert _endpoint_label("/runs/abc123") == "/runs/:id"
+        assert _endpoint_label("/runs/abc123/trace") == "/runs/:id/trace"
+        assert _endpoint_label("/records/" + "f" * 24) == "/records/:key"
+        assert _endpoint_label("/records/x?pretty=1") == "/records/:key"
+        assert _endpoint_label("/wat") == "other"
+
+
+class TestTelemetry:
+    def test_job_trace_spans_share_one_correlation_id(self, cache):
+        with Daemon(cache) as daemon:
+            status, headers, payload = daemon.json("POST", "/runs", MATRIX)
+            assert status == 201
+            trace_id = headers["X-Trace-Id"]
+            assert len(trace_id) == 16
+            assert payload["trace"] == trace_id
+            job_id = headers["Location"].rsplit("/", 1)[1]
+            daemon.wait_done(job_id)
+
+            status, _, raw = daemon.http("GET", f"/runs/{job_id}/trace")
+            assert status == 200
+            events = json.loads(raw)["traceEvents"]
+            slices = [e for e in events if e["ph"] == "X"]
+            stages = {e["name"] for e in slices}
+            # the acceptance criterion: the full lifecycle, one trace id
+            assert {"validate", "enqueue", "claim", "simulate",
+                    "respond"} <= stages
+            assert {e["args"]["trace"] for e in slices} == {trace_id}
+            assert {e["args"]["job"] for e in slices} == {job_id}
+            # spans survive on disk under queue/spans/<job>.jsonl
+            span_file = cache / "queue" / "spans" / f"{job_id}.jsonl"
+            assert span_file.exists()
+
+    def test_trace_of_unknown_job_is_404_bad_id_400(self, cache):
+        with Daemon(cache, drain=False) as daemon:
+            status, _, payload = daemon.json("GET",
+                                             "/runs/feedfacebeef/trace")
+            assert status == 404 and payload["error"]
+            status, _, _ = daemon.json("GET", "/runs/not-alnum/trace")
+            assert status == 400
+
+    def test_metrics_endpoint_is_valid_prometheus_text(self, cache):
+        from repro.obs.metrics import validate_exposition
+
+        with Daemon(cache) as daemon:
+            daemon.json("GET", "/healthz")
+            job_id, _ = daemon.submit()
+            daemon.wait_done(job_id)
+            status, headers, raw = daemon.http("GET", "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+            text = raw.decode("utf-8")
+            assert validate_exposition(text) == []
+            assert 'repro_http_requests_total{endpoint="/healthz"' in text
+            assert "repro_simulations_total 1" in text
+            assert "repro_queue_depth 0" in text
+            # every lifecycle stage left a latency histogram series
+            for stage in ("validate", "enqueue", "claim", "simulate",
+                          "respond"):
+                assert f'repro_stage_ns_count{{stage="{stage}"}}' in text
+
+    def test_record_requests_and_304s_are_counted(self, cache):
+        with Daemon(cache) as daemon:
+            job_id, _ = daemon.submit()
+            settled = daemon.wait_done(job_id)
+            key = settled["cells"][0]["key"]
+            daemon.http("GET", f"/records/{key}")
+            daemon.http("GET", f"/records/{key}",
+                        headers={"If-None-Match": f'"{key}"'})
+            metrics = daemon.app.metrics
+            assert metrics.value("repro_record_requests_total") == 2
+            assert metrics.value("repro_record_304_total") == 1
+
+    def test_live_scrape_during_coalesced_sweep(self, cache):
+        """The issue's acceptance test: N identical concurrent POSTs,
+        one owned simulation, the rest coalesced/cached; /metrics is
+        scrapeable mid-flight and the counters reconcile after drain."""
+        from repro.obs.metrics import validate_exposition
+
+        clients = 4
+        with Daemon(cache, workers=1, job_concurrency=clients) as daemon:
+            ids = []
+            errors = []
+            scrapes = []
+            gate = threading.Barrier(clients + 1, timeout=30)
+
+            def post():
+                try:
+                    gate.wait()
+                    ids.append(daemon.submit()[0])
+                except Exception as exc:
+                    errors.append(exc)
+
+            def scrape():
+                gate.wait()  # scrape while submissions are in flight
+                status, _, raw = daemon.http("GET", "/metrics")
+                scrapes.append((status, raw.decode("utf-8")))
+
+            threads = [threading.Thread(target=post)
+                       for _ in range(clients)]
+            threads.append(threading.Thread(target=scrape))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors and len(ids) == clients
+
+            status, text = scrapes[0]
+            assert status == 200
+            assert validate_exposition(text) == []  # valid mid-flight
+
+            settled = [daemon.wait_done(job_id) for job_id in ids]
+            states = [payload["cells"][0]["state"] for payload in settled]
+            metrics = daemon.app.metrics
+
+            # exactly one claim owned the simulation; every other
+            # submission either coalesced onto it or (if it arrived
+            # after the record landed) hit the cache — together they
+            # account for the other N-1 clients
+            assert metrics.value("repro_coalesce_owned_total") == 1
+            assert metrics.value("repro_coalesce_hits_total") == \
+                states.count("coalesced")
+            assert metrics.value("repro_cache_hits_total") == \
+                states.count("cached")
+            assert states.count("coalesced") + states.count("cached") == \
+                clients - 1
+            assert metrics.value("repro_simulations_total") == 1
+            assert metrics.value("repro_jobs_total",
+                                 outcome="done") == clients
+
+            # after the drain the queue gauges read empty
+            status, _, raw = daemon.http("GET", "/metrics")
+            text = raw.decode("utf-8")
+            assert validate_exposition(text) == []
+            assert "repro_queue_depth 0" in text
+            assert "repro_coalesce_inflight 0" in text
+            _, _, health = daemon.json("GET", "/healthz")
+            assert health["queue_depth"] == 0
+            assert health["lanes"]["running"] == 0
+
+
 class TestRestartResume:
     def test_queue_survives_kill_and_restart(self, cache):
         # Stage a half-drained queue: daemon A accepts but never drains

@@ -9,7 +9,9 @@ from tools.lint_repro import check_serve_schema, main as lint_main
 
 def health_payload(**overrides):
     payload = {"ok": True, "version": "1.0", "simulations": 3, "inflight": 0,
-               "jobs": {"pending": 0, "running": 1, "done": 2, "failed": 0}}
+               "queue_depth": 1, "uptime_s": 12.5,
+               "jobs": {"pending": 0, "running": 1, "done": 2, "failed": 0},
+               "lanes": {"idle": 1, "running": 1, "stalled": 0}}
     payload.update(overrides)
     return payload
 
@@ -52,6 +54,24 @@ class TestValidators:
     def test_health_job_counts_must_cover_every_state(self):
         broken = health_payload(jobs={"pending": 0})
         assert any("running" in p for p in validate_payload("health", broken))
+
+    def test_health_lane_counts_must_cover_every_state(self):
+        broken = health_payload(lanes={"idle": 2})
+        problems = validate_payload("health", broken)
+        assert any("stalled" in p for p in problems)
+
+    def test_health_requires_queue_depth_and_uptime(self):
+        broken = health_payload()
+        del broken["queue_depth"], broken["uptime_s"]
+        problems = validate_payload("health", broken)
+        assert any("queue_depth" in p for p in problems)
+        assert any("uptime_s" in p for p in problems)
+
+    def test_job_trace_optional_but_typed(self):
+        assert validate_payload("job", job_payload(trace="a" * 16)) == []
+        assert validate_payload("job", job_payload()) == []  # pre-tracing
+        assert any("trace" in p for p in validate_payload(
+            "job", job_payload(trace=42)))
 
     def test_job_state_and_cell_state_vocabulary(self):
         assert any("paused" in p for p in validate_payload(

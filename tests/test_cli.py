@@ -31,6 +31,13 @@ class TestRun:
         assert "private misses" in out
         assert "NS hits" in out
 
+    def test_profile_attrib_prints_the_ranking(self, capsys):
+        assert main(["run", "--config", "d2m-ns-r", "--workload", "water",
+                     "--instructions", "1500", "--profile-attrib"]) == 0
+        out = capsys.readouterr().out
+        assert "slow-tail attribution" in out
+        assert "fallback accesses" in out
+
     def test_unknown_config_rejected(self, capsys):
         assert main(["run", "--config", "nope", "--workload", "water"]) == 2
 
@@ -134,6 +141,41 @@ class TestTrace:
 
     def test_trace_unknown_config(self, tmp_path):
         assert main(["trace", "--config", "nope"]) == 2
+
+    def test_trace_job_exports_served_spans(self, tmp_path, capsys,
+                                            monkeypatch):
+        from repro.serve.telemetry import Span, SpanRing
+
+        ring = SpanRing(tmp_path / "queue" / "spans")
+        for index, stage in enumerate(("validate", "enqueue", "claim")):
+            ring.record(Span(trace="c0ffee" + "0" * 10, job="job42",
+                             stage=stage, ts=50.0 + index, dur_s=0.1))
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "--job", "job42",
+                     "--serve-cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 span(s)" in out and "c0ffee" in out
+        # the per-job default filename keeps CI artifacts from clobbering
+        doc = json.loads((tmp_path / "trace_job_job42.json").read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in slices] == \
+            ["validate", "enqueue", "claim"]
+
+    def test_trace_job_without_spans_exits_two(self, tmp_path, capsys):
+        assert main(["trace", "--job", "nosuchjob",
+                     "--serve-cache", str(tmp_path)]) == 2
+        assert "no spans" in capsys.readouterr().err
+
+    def test_trace_job_honors_out(self, tmp_path):
+        from repro.serve.telemetry import Span, SpanRing
+
+        ring = SpanRing(tmp_path / "queue" / "spans")
+        ring.record(Span(trace="t" * 16, job="j1", stage="respond",
+                         ts=1.0, dur_s=0.0))
+        out = tmp_path / "custom.json"
+        assert main(["trace", "--job", "j1", "--serve-cache",
+                     str(tmp_path), "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["traceEvents"]
 
 
 class TestReportHist:

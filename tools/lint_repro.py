@@ -28,6 +28,7 @@ Usage::
     python -m tools.lint_repro --trace-schema trace.jsonl [...]
     python -m tools.lint_repro --digest-schema .repro_cache/runs [...]
     python -m tools.lint_repro --serve-schema payloads/ [...]
+    python -m tools.lint_repro --metrics-schema [metrics.txt ...]
     python -m tools.lint_repro --protocol
 
 ``--trace-schema`` switches to validating JSONL trace exports (from
@@ -44,6 +45,14 @@ with monotonic percentiles and nothing else.
 (health / job / record / error, sniffed by shape) against
 :mod:`repro.serve.schema` — the machine-checkable half of
 ``docs/SERVING.md``; CI's serve-smoke job runs it on live responses.
+
+``--metrics-schema`` first self-checks the declared metric registry
+(:data:`repro.obs.metrics.METRIC_SCHEMA`), then validates any given
+``/metrics`` scrapes (Prometheus text exposition 0.0.4 files) against
+it via :func:`repro.obs.metrics.validate_exposition` — every sample
+must belong to a declared metric with declared labels, counters must
+end in ``_total``, histograms must carry monotonic cumulative buckets.
+CI's serve-smoke job runs it on a live scrape.
 
 ``--protocol`` reconciles the coherence-protocol implementations against
 the declarative transition tables in :mod:`repro.verify.spec` (see
@@ -241,13 +250,15 @@ def check_trace_schema(paths: List[Path]) -> List[str]:
 
 
 def check_digest_schema(paths: List[Path]) -> List[str]:
-    """Validate run-record histogram digests; returns violations."""
+    """Validate run-record histogram + profile digests; returns
+    violations."""
     import json
 
     src = str(REPO_ROOT / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
     from repro.obs.histogram import validate_digest
+    from repro.obs.profile import validate_profile
 
     files: List[Path] = []
     for path in paths:
@@ -278,6 +289,10 @@ def check_digest_schema(paths: List[Path]) -> List[str]:
             checked += 1
             for issue in validate_digest(digest):
                 problems.append(f"{path}: hists[{name!r}]: {issue}")
+        # records persisted before RUN_FORMAT 8 carry no 'profile' key;
+        # an absent key is as valid as the empty (unprofiled) digest
+        for issue in validate_profile(payload.get("profile", {})):
+            problems.append(f"{path}: profile: {issue}")
     if not files:
         problems.append("--digest-schema matched no record files")
     return problems
@@ -325,6 +340,37 @@ def check_serve_schema(paths: List[Path]) -> List[str]:
             problems.append(f"{path}: {issue}")
     if not files:
         problems.append("--serve-schema matched no payload files")
+    return problems
+
+
+def check_metrics_schema(paths: List[Path]) -> List[str]:
+    """Self-check the metric registry, then validate any ``/metrics``
+    scrapes against it.
+
+    With no paths the mode still checks
+    :data:`repro.obs.metrics.METRIC_SCHEMA` for well-formedness (valid
+    names and labels, counters ending in ``_total``); each given file is
+    additionally parsed as Prometheus text exposition and every sample
+    matched against the declarations.  CI's serve-smoke job runs it on
+    the ``metrics.txt`` it scrapes from the live daemon.
+    """
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.metrics import validate_exposition, validate_schema
+
+    problems = [f"METRIC_SCHEMA: {issue}" for issue in validate_schema()]
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        if not text.strip():
+            problems.append(f"{path}: empty exposition")
+            continue
+        problems.extend(f"{path}: {issue}"
+                        for issue in validate_exposition(text))
     return problems
 
 
@@ -385,6 +431,18 @@ def main(argv: List[str]) -> int:
             return 1
         print(f"lint_repro: serve payloads valid in "
               f"{len(payload_paths)} path(s)")
+        return 0
+    if argv and argv[0] == "--metrics-schema":
+        metric_paths = [Path(arg) for arg in argv[1:]]
+        problems = check_metrics_schema(metric_paths)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"lint_repro: metric schema valid"
+              + (f"; {len(metric_paths)} scrape(s) conform"
+                 if metric_paths else ""))
         return 0
     if argv and argv[0] == "--trace-schema":
         trace_paths = [Path(arg) for arg in argv[1:]]
