@@ -11,6 +11,10 @@ Commands:
   JSONL or Chrome ``trace_event`` JSON (Perfetto-viewable); ``--job``
   instead exports a served job's request-lifecycle spans from the
   daemon's span log.
+* ``timeline`` — view a cached run's epoch time-series (``--timeline``
+  sampling) as terminal sparklines, JSON, or a standalone HTML page;
+  ``--job`` shows a served job's per-cell series including live
+  in-flight epoch streams.
 * ``bench`` — time the simulator itself over a pinned matrix and emit
   a ``BENCH_<date>.json`` perf-tracking report.
 * ``compare`` — diff two bench reports, run records, or sweep matrices
@@ -114,7 +118,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            check_invariants=args.check_invariants,
                            telemetry=True if args.hist else None,
                            batched=args.batched or None,
-                           profile=args.profile_attrib)
+                           profile=args.profile_attrib,
+                           timeline=_timeline_epoch(args))
     result = outcome.result
     print(f"{args.workload} on {config.name} "
           f"({result.instructions} instructions)")
@@ -151,6 +156,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.profile_attrib:
         print()
         print(profile_text(outcome.profile_summary()))
+    if args.timeline:
+        from repro.obs.timeline import timeline_text
+
+        print()
+        print(timeline_text(outcome.timeline_summary()))
     if outcome.invariants_checked and not outcome.invariants_ok:
         print(outcome.invariant_error, file=sys.stderr)
         return 1
@@ -277,6 +287,145 @@ def _trace_job(args: argparse.Namespace) -> int:
     return 0
 
 
+def _timeline_epoch(args: argparse.Namespace) -> int:
+    """Resolve ``--timeline [--epoch N]`` into an epoch length (0 = off)."""
+    if not getattr(args, "timeline", False):
+        return 0
+    if args.epoch:
+        return args.epoch
+    from repro.obs.timeline import DEFAULT_EPOCH
+
+    return DEFAULT_EPOCH
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """``repro timeline``: view a cached run's epoch time-series."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.timeline import (
+        rebucket_timeline,
+        timeline_text,
+        validate_timeline,
+    )
+
+    if args.job:
+        return _timeline_job(args)
+    if args.record:
+        path = Path(args.record)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"timeline: {path}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(payload, dict):
+            print(f"timeline: {path}: not a JSON object", file=sys.stderr)
+            return 2
+        # Accept both a full run record and a bare timeline summary.
+        timeline = (payload if "series" in payload
+                    else payload.get("timeline", {}))
+        title = path.name
+    else:
+        config = _resolve_config(args.config)
+        if config is None:
+            return 2
+        try:
+            get_spec(args.workload)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        from repro.experiments.runner import _load_record, run_record_path
+        from repro.sim.runner import instruction_budget, warmup_budget
+
+        budget = args.instructions or instruction_budget()
+        warmup = warmup_budget(budget)
+        record = _load_record(run_record_path(args.workload, config.name,
+                                              budget, args.seed, warmup))
+        if record is None:
+            print(f"no cached run record for {args.workload} on "
+                  f"{config.name} (instructions={budget}, "
+                  f"seed={args.seed}); run `repro sweep --workloads "
+                  f"{args.workload} --timeline` first", file=sys.stderr)
+            return 2
+        timeline = record.timeline
+        title = f"{args.workload} on {config.name}"
+    if not isinstance(timeline, dict) or not timeline:
+        print("timeline: the record carries no epoch series; resimulate "
+              "with --timeline (REPRO_FRESH=1 forces it)", file=sys.stderr)
+        return 2
+    problems = validate_timeline(timeline)
+    if problems:
+        for problem in problems:
+            print(f"timeline: schema: {problem}", file=sys.stderr)
+        return 2
+    if args.epoch:
+        timeline = rebucket_timeline(timeline, args.epoch)
+    if args.format == "json":
+        text = json.dumps(timeline, indent=2) + "\n"
+    elif args.format == "html":
+        from repro.obs.render import timeline_page
+
+        text = timeline_page(timeline, title=f"timeline: {title}")
+    else:
+        text = timeline_text(timeline) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"timeline ({args.format}) -> {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _timeline_job(args: argparse.Namespace) -> int:
+    """``repro timeline --job``: a served job's per-cell epoch series."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.runner import cache_dir
+    from repro.obs.timeline import rebucket_timeline, timeline_text
+    from repro.serve.handlers import timeline_payload
+    from repro.serve.queue import JobQueue
+
+    if args.format == "html":
+        print("timeline: --format html renders one record; use text or "
+              "json with --job", file=sys.stderr)
+        return 2
+    root = Path(args.serve_cache) if args.serve_cache else cache_dir()
+    job = JobQueue(root / "queue").load(args.job)
+    if job is None:
+        print(f"no such job {args.job!r} under {root}", file=sys.stderr)
+        return 2
+    payload = timeline_payload(
+        job, root / "runs",
+        heartbeat_dir=root / "queue" / f"hb-{args.job}")
+    if args.format == "json":
+        text = json.dumps(payload, indent=2) + "\n"
+    else:
+        lines = [f"job {job.id} ({job.state})"]
+        for cell in payload["cells"]:
+            lines.append(f"{cell['workload']} on {cell['config']} "
+                         f"[{cell['state']}]")
+            timeline = cell.get("timeline")
+            if timeline:
+                if args.epoch:
+                    timeline = rebucket_timeline(timeline, args.epoch)
+                lines.append(timeline_text(timeline))
+            else:
+                lines.append("  (no timeline in the cached record)")
+        for stream in payload["live"]:
+            lines.append(f"live {stream['stream']}: "
+                         f"{len(stream['epochs'])} recent epoch(s)")
+        text = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"timeline ({args.format}) -> {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.runner import (
         SweepError,
@@ -305,7 +454,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             sanitize=args.sanitize,
                             sanitize_every=args.sanitize_every,
                             check_invariants=args.check_invariants,
-                            profile=args.profile_attrib)
+                            profile=args.profile_attrib,
+                            timeline=_timeline_epoch(args))
     except SweepError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -327,6 +477,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.history:
+        try:
+            from tools.bench_history import main as history_main
+        except ImportError:
+            print("bench --history needs the repository checkout "
+                  "(tools/bench_history.py importable from the working "
+                  "directory)", file=sys.stderr)
+            return 2
+        return history_main([])
     from repro.sim.bench import main as bench_main
 
     return bench_main(quick=args.quick, out=args.out,
@@ -457,7 +616,8 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     try:
         matrix = get_matrix(workloads=workloads,
                             instructions=args.instructions, seed=args.seed,
-                            jobs=args.jobs or None)
+                            jobs=args.jobs or None,
+                            timeline=_timeline_epoch(args))
     except SweepError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -551,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bit-identical stats; REPRO_BATCHED=1 is "
                             "the env equivalent)")
     _add_profile_flag(run_p)
+    _add_timeline_flags(run_p)
     _add_checking_flags(run_p)
 
     report_p = sub.add_parser("report", help="regenerate a paper artifact")
@@ -607,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel workers (0 = REPRO_JOBS or CPU "
                               "count; 1 = serial in-process)")
     _add_profile_flag(sweep_p)
+    _add_timeline_flags(sweep_p)
     _add_checking_flags(sweep_p)
 
     bench_p = sub.add_parser(
@@ -630,6 +792,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="after benching, diff the fresh report "
                               "against this baseline (exit 3 on "
                               "regression)")
+    bench_p.add_argument("--history", action="store_true",
+                         help="print the longitudinal trend table over "
+                              "every BENCH_*.json here instead of "
+                              "benching (tools/bench_history.py)")
     _add_profile_flag(bench_p)
 
     compare_p = sub.add_parser(
@@ -710,6 +876,42 @@ def build_parser() -> argparse.ArgumentParser:
     dash_p.add_argument("--bench", default="", metavar="FILE|auto",
                         help="also include a bench-vs-committed-baseline "
                              "comparison section")
+    _add_timeline_flags(dash_p)
+
+    timeline_p = sub.add_parser(
+        "timeline",
+        help="view a cached run's epoch time-series (text/json/html)")
+    timeline_p.add_argument("record", nargs="?", default="",
+                            help="a run-record JSON path (or bare timeline "
+                                 "JSON); default: look up the run cache by "
+                                 "--config/--workload")
+    timeline_p.add_argument("--config", default="d2m-ns-r",
+                            help="(cache lookup) system name")
+    timeline_p.add_argument("--workload", default="tpcc",
+                            help="(cache lookup) workload name")
+    timeline_p.add_argument("--instructions", type=int, default=0,
+                            help="(cache lookup) run key instruction "
+                                 "budget")
+    timeline_p.add_argument("--seed", type=int, default=1,
+                            help="(cache lookup) run key seed")
+    timeline_p.add_argument("--epoch", type=int, default=0, metavar="N",
+                            help="coarsen the display so each epoch covers "
+                                 ">= N accesses (merges stored epochs; "
+                                 "display only)")
+    timeline_p.add_argument("--format", choices=("text", "json", "html"),
+                            default="text",
+                            help="text: terminal sparklines; json: the "
+                                 "summary document; html: a standalone "
+                                 "panel page")
+    timeline_p.add_argument("--out", default="",
+                            help="write to a file instead of stdout")
+    timeline_p.add_argument("--job", default="", metavar="ID",
+                            help="show a served job's per-cell series "
+                                 "(cached records + live tl-*.jsonl "
+                                 "tails) instead of one record")
+    timeline_p.add_argument("--serve-cache", default="", metavar="DIR",
+                            help="(with --job) serve cache root (default "
+                                 "REPRO_CACHE_DIR or ./.repro_cache)")
 
     return parser
 
@@ -720,6 +922,16 @@ def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
                              "time to verify-spec transition classes "
                              "(implies the batched driver; stats stay "
                              "bit-identical)")
+
+
+def _add_timeline_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeline", action="store_true",
+                        help="sample an epoch time-series of interval "
+                             "stat deltas alongside the run (stats stay "
+                             "bit-identical; view with repro timeline)")
+    parser.add_argument("--epoch", type=int, default=0, metavar="N",
+                        help="with --timeline, accesses per epoch "
+                             "(default 4096)")
 
 
 def _add_checking_flags(parser: argparse.ArgumentParser) -> None:
@@ -742,6 +954,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "timeline": _cmd_timeline,
     "bench": _cmd_bench,
     "compare": _cmd_compare,
     "verify": _cmd_verify,

@@ -101,6 +101,10 @@ class RunRecord:
     # run was simulated without --profile-attrib)
     profile: Dict[str, object] = field(default_factory=dict)
 
+    # epoch time-series (repro.obs.timeline summary; {} when the run was
+    # simulated without --timeline, {"epochs": 0} when sampled but empty)
+    timeline: Dict[str, object] = field(default_factory=dict)
+
     def to_json(self) -> dict:
         return asdict(self)
 
@@ -164,6 +168,7 @@ def record_from_outcome(outcome, category: str) -> RunRecord:
         invariant_error=outcome.invariant_error,
         hists=outcome.hist_summaries(),
         profile=outcome.profile_summary(),
+        timeline=outcome.timeline_summary(),
     )
 
 

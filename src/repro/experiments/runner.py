@@ -45,8 +45,8 @@ from repro.workloads.registry import CATEGORIES, get_spec, workload_names
 Matrix = Dict[str, Dict[str, RunRecord]]
 
 #: bump when RunRecord's schema or the simulation semantics change
-#: (8: slow-tail attribution profile joined the record)
-RUN_FORMAT = 8
+#: (9: epoch time-series timeline joined the record)
+RUN_FORMAT = 9
 
 #: a ``<key>.json.*.tmp`` file older than this is crash litter, not an
 #: in-flight atomic write (writes complete in milliseconds)
@@ -233,6 +233,7 @@ def plan_matrix(workloads: Optional[Iterable[str]] = None,
                 check_invariants: bool = False,
                 telemetry: bool = True,
                 profile: bool = False,
+                timeline: int = 0,
                 fresh: Optional[bool] = None,
                 warmup: Optional[int] = None) -> SweepPlan:
     """Split a matrix request into cached records and pending runs.
@@ -240,7 +241,9 @@ def plan_matrix(workloads: Optional[Iterable[str]] = None,
     Loads every already-cached record into ``plan.matrix`` and lists the
     rest as :class:`PendingRun`s.  A cached record that lacks a
     requested check (``sanitize``/``check_invariants``/``telemetry``/
-    ``profile``) is a miss.  ``fresh=None`` defaults from ``REPRO_FRESH``;
+    ``profile``) — or lacks the epoch time-series when ``timeline`` (an
+    epoch length) is requested — is a miss.  ``fresh=None`` defaults
+    from ``REPRO_FRESH``;
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` or
     the default fraction, while an explicit value pins the cache keys
     regardless of the environment (the daemon does this per request).
@@ -266,14 +269,16 @@ def plan_matrix(workloads: Optional[Iterable[str]] = None,
                                        (check_invariants
                                         and not record.invariants_checked) or
                                        (telemetry and not record.hists) or
-                                       (profile and not record.profile)):
+                                       (profile and not record.profile) or
+                                       (timeline and not record.timeline)):
                 record = None  # cached run skipped a requested check
             if record is None:
                 plan.pending.append(PendingRun(
                     RunSpec(config, workload, budget, seed, warmup=warmup,
                             sanitize=sanitize, sanitize_every=sanitize_every,
                             check_invariants=check_invariants,
-                            telemetry=telemetry, profile=profile),
+                            telemetry=telemetry, profile=profile,
+                            timeline=timeline),
                     path, key))
             else:
                 plan.matrix[workload][config.name] = record
@@ -358,7 +363,8 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
                sanitize: bool = False, sanitize_every: int = 0,
                check_invariants: bool = False,
                telemetry: bool = True,
-               profile: bool = False) -> Matrix:
+               profile: bool = False,
+               timeline: int = 0) -> Matrix:
     """The shared run matrix, assembled from per-run cache records.
 
     Missing runs are simulated — in parallel when ``jobs`` (or
@@ -378,7 +384,9 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
     ``profile`` runs each simulation under the slow-tail attribution
     profiler (:mod:`repro.obs.profile`) and persists its digest on the
     record — statistics stay bit-identical; only wall-time attribution
-    is added.
+    is added.  ``timeline`` (an epoch length in accesses, 0 = off)
+    samples per-epoch stat deltas (:mod:`repro.obs.timeline`) onto each
+    record, also without perturbing the statistics.
 
     Live progress goes through :class:`repro.obs.progress.SweepProgress`:
     per-run completion lines (or an in-place line on a TTY, fed by
@@ -393,7 +401,8 @@ def get_matrix(workloads: Optional[Iterable[str]] = None,
                        instructions=instructions, seed=seed,
                        sanitize=sanitize, sanitize_every=sanitize_every,
                        check_invariants=check_invariants,
-                       telemetry=telemetry, profile=profile)
+                       telemetry=telemetry, profile=profile,
+                       timeline=timeline)
     failures = execute_plan(plan, jobs=jobs, quiet=quiet)
     if failures:
         raise SweepError(failures)

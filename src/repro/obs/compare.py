@@ -6,8 +6,8 @@ structurally diffs two comparable payloads —
 
 * two ``BENCH_*.json`` reports (per-cell instructions/second, per-phase
   wall splits, the optimized-vs-reference equivalence flags),
-* two run records (every scalar paper metric plus per-percentile
-  histogram-digest drift), or
+* two run records (every scalar paper metric, per-percentile
+  histogram-digest drift, and epoch-timeline phase drift), or
 * two sweep matrices (``{workload: {config: record}}``, e.g. two
   ``.repro_cache/runs`` directories),
 
@@ -65,8 +65,11 @@ class Thresholds:
     ``ips_*`` apply to bench throughput drops, ``metric_*`` to run-record
     scalar drift (both directions — a reproduction shifting *either* way
     is drift), ``hist_*`` to symmetric percentile-ratio drift of the log2
-    digests (``max/min - 1``; one bucket is ~1.0).  ``abs_floor`` is the
-    absolute delta below which a change is never classified at all.
+    digests (``max/min - 1``; one bucket is ~1.0), ``phase_*`` to the
+    Kolmogorov-Smirnov distance between two epoch time-series' normalized
+    cumulative mass curves (0 = identical shape, 1 = disjoint phases).
+    ``abs_floor`` is the absolute delta below which a change is never
+    classified at all.
     """
 
     ips_fail: float = 0.10
@@ -76,6 +79,8 @@ class Thresholds:
     hist_fail: float = 3.0
     hist_warn: float = 1.5
     abs_floor: float = 1e-9
+    phase_fail: float = 0.25
+    phase_warn: float = 0.10
 
 
 @dataclass
@@ -355,6 +360,81 @@ def compare_hist_digests(baseline: Mapping[str, Mapping[str, float]],
     return deltas
 
 
+def compare_timelines(baseline: Mapping[str, object],
+                      candidate: Mapping[str, object],
+                      thresholds: Thresholds = Thresholds(),
+                      cap: str = REGRESSION
+                      ) -> Tuple[List[Delta], List[str]]:
+    """Phase-drift deltas between two epoch time-series summaries.
+
+    Scalar metrics catch *how much* changed; this catches *when*.  Each
+    series shared by both timelines is reduced to its normalized
+    cumulative mass curve, and the Kolmogorov-Smirnov distance between
+    the two curves becomes the drift measure: two runs with identical
+    totals but different phase shapes (work migrated between epochs)
+    score high, identical shapes score exactly 0.  Each delta carries the
+    per-series *sums* as baseline/candidate values, so a "same totals,
+    different phase" pair is visible at a glance.
+
+    Drift is only measured when both sides sampled with the same epoch
+    length; otherwise the curves are not aligned and a note says so.
+    Returns ``(deltas, notes)``.
+    """
+    from repro.obs.timeline import phase_drift
+
+    deltas: List[Delta] = []
+    notes: List[str] = []
+    base_on = int(baseline.get("epochs", 0) or 0) > 0  # type: ignore[arg-type]
+    cand_on = int(candidate.get("epochs", 0) or 0) > 0  # type: ignore[arg-type]
+    if not base_on and not cand_on:
+        return deltas, notes
+    if base_on != cand_on:
+        side = "candidate" if cand_on else "baseline"
+        deltas.append(Delta(
+            "timeline.epochs",
+            float(baseline.get("epochs", 0) or 0) if baseline else None,  # type: ignore[arg-type]
+            float(candidate.get("epochs", 0) or 0) if candidate else None,  # type: ignore[arg-type]
+            _cap(NOTE, cap), f"timeline only in {side}"))
+        return deltas, notes
+    base_ea = int(baseline.get("epoch_accesses", 0) or 0)  # type: ignore[arg-type]
+    cand_ea = int(candidate.get("epoch_accesses", 0) or 0)  # type: ignore[arg-type]
+    if base_ea != cand_ea:
+        notes.append(f"timeline epoch lengths differ ({base_ea} vs "
+                     f"{cand_ea} accesses); phase drift not measured")
+        return deltas, notes
+    if baseline.get("roi_epoch") != candidate.get("roi_epoch"):
+        notes.append(f"warmup/ROI boundary moved (epoch "
+                     f"{baseline.get('roi_epoch')} -> "
+                     f"{candidate.get('roi_epoch')})")
+    if baseline.get("epochs") != candidate.get("epochs"):
+        notes.append(f"timeline lengths differ ({baseline.get('epochs')} vs "
+                     f"{candidate.get('epochs')} epochs); phase drift is "
+                     "measured over the common prefix")
+    base_series = baseline.get("series", {})
+    cand_series = candidate.get("series", {})
+    if not isinstance(base_series, Mapping) \
+            or not isinstance(cand_series, Mapping):
+        return deltas, notes
+    for name in sorted(set(base_series) & set(cand_series)):
+        b = [float(v) for v in base_series[name]]
+        c = [float(v) for v in cand_series[name]]
+        drift = phase_drift(b, c)
+        if drift == 0.0:
+            continue
+        if drift >= thresholds.phase_fail:
+            severity = REGRESSION
+        elif drift >= thresholds.phase_warn:
+            severity = WARN
+        else:
+            severity = OK
+        deltas.append(Delta(
+            f"timeline.{name}.phase_drift", sum(b), sum(c),
+            _cap(severity, cap),
+            f"phase drift {drift:.2f} (KS distance)" if severity != OK
+            else ""))
+    return deltas, notes
+
+
 def _as_record_dict(record: object) -> Dict[str, object]:
     if hasattr(record, "to_json"):
         return record.to_json()  # type: ignore[attr-defined, no-any-return]
@@ -414,6 +494,16 @@ def compare_records(baseline: object, candidate: object,
                                           cap=cap):
             delta.key = key_prefix + delta.key
             report.add(delta)
+    base_tl = base.get("timeline", {})
+    cand_tl = cand.get("timeline", {})
+    if isinstance(base_tl, Mapping) and isinstance(cand_tl, Mapping):
+        tl_deltas, tl_notes = compare_timelines(base_tl, cand_tl, thresholds,
+                                                cap=cap)
+        for delta in tl_deltas:
+            delta.key = key_prefix + delta.key
+            report.add(delta)
+        for message in tl_notes:
+            report.note(message)
     return report
 
 
@@ -584,7 +674,8 @@ __all__: Sequence[str] = [
     "OK", "NOTE", "WARN", "REGRESSION", "REGRESSION_EXIT",
     "CompareError", "ComparisonReport", "Delta", "Thresholds",
     "compare_bench", "compare_hist_digests", "compare_matrices",
-    "compare_payloads", "compare_records", "kind_of", "load_payload",
+    "compare_payloads", "compare_records", "compare_timelines",
+    "kind_of", "load_payload",
     "matrix_to_json", "newest_bench_path", "resolve_auto_baseline",
     "thresholds_from_percent",
 ]

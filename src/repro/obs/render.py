@@ -17,6 +17,10 @@ Sections:
 * **slow-tail attribution** — when the focus record carries a
   ``--profile-attrib`` digest, ranked per-transition-class slow-tail
   seconds bars (:func:`repro.obs.profile.profile_ranking`);
+* **phase timeline** — when the focus record carries a ``--timeline``
+  epoch series, per-epoch polyline sparklines (instructions, L1
+  hits/misses, MD1/MD2 occupancy, NoC hops/PB spills), each series
+  normalized to its own peak, with the warmup/ROI boundary marked;
 * **comparison views** — side-by-side percentile bars plus a
   severity-classified delta table for any :class:`ComparisonReport`
   (config vs config, or candidate bench vs committed baseline).
@@ -351,6 +355,132 @@ def profile_panel(profile: Mapping[str, object], limit: int = 16) -> str:
     return "".join(parts)
 
 
+# ---------------------------------------------------------------- timelines
+
+#: timeline series grouped into dashboard panels (at most two series per
+#: panel so the two role colors suffice), in display order
+_TIMELINE_PANELS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("instructions",), "Instructions retired per epoch (IPS shape)"),
+    (("l1_hits", "l1_misses"), "L1 hits vs misses per epoch"),
+    (("md1_occ", "md2_occ"), "MD1/MD2 occupancy (entries, sampled)"),
+    (("noc_hops", "pb_spills"), "NoC hops and PB spills per epoch"),
+)
+
+#: per-panel series colors (role-driven custom properties, like the
+#: comparison views)
+_TIMELINE_COLORS = ("var(--series-1)", "var(--series-2)")
+
+
+def svg_timeline(panel: Sequence[Tuple[str, Sequence[float]]],
+                 roi_epoch: int, width: int = 560,
+                 height: int = 90) -> str:
+    """Up to two epoch series as polylines on one shared time axis.
+
+    Each series is normalized to its *own* peak (panel members can differ
+    by orders of magnitude; the peak is printed in the legend), so the
+    chart shows shape over time — the phase structure — rather than
+    absolute magnitude.  A dashed vertical rule marks the warmup-to-ROI
+    boundary epoch when it falls inside the plotted range.
+    """
+    pad = 6
+    plot_h = height - 2 * pad
+    epochs = max((len(values) for _, values in panel), default=0)
+    if epochs < 2:
+        return ""
+    step = (width - 2 * pad) / (epochs - 1)
+    parts = [
+        f'<svg role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" aria-label="epoch timeline">',
+        f'<line class="grid" x1="{pad}" y1="{height - pad}" '
+        f'x2="{width - pad}" y2="{height - pad}"/>',
+    ]
+    if 0 < roi_epoch < epochs:
+        x = pad + roi_epoch * step
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{pad}" x2="{x:.1f}" '
+            f'y2="{height - pad}" stroke="var(--text-secondary)" '
+            f'stroke-dasharray="4 3"><title>warmup-to-ROI boundary '
+            f'(epoch {roi_epoch})</title></line>')
+    for (name, values), color in zip(panel, _TIMELINE_COLORS):
+        peak = max(values, default=0.0)
+        points = []
+        for index, value in enumerate(values):
+            x = pad + index * step
+            frac = value / peak if peak > 0 else 0.0
+            y = pad + plot_h * (1.0 - frac)
+            points.append(f"{x:.1f},{y:.1f}")
+        parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5">'
+            f'<title>{esc(name)} per epoch (peak {_fmt(peak)})</title>'
+            f'</polyline>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def timeline_panels(timeline: Mapping[str, object]) -> str:
+    """The phase-resolved timeline section for one record.
+
+    Empty string when the record carries no timeline (runs without
+    ``--timeline``); a one-line note when it was sampled but the run
+    finished before two epochs elapsed.
+    """
+    if not isinstance(timeline, Mapping) or not timeline:
+        return ""
+    epochs = int(timeline.get("epochs", 0))  # type: ignore[arg-type]
+    parts = ["<h2>Phase timeline (--timeline)</h2>"]
+    if epochs < 2:
+        parts.append("<p class=\"note\">the run finished before two "
+                     "epochs elapsed; nothing to draw.</p>")
+        return "".join(parts)
+    epoch_accesses = int(timeline.get("epoch_accesses", 0))  # type: ignore[arg-type]
+    roi_epoch = int(timeline.get("roi_epoch", 0))  # type: ignore[arg-type]
+    series = timeline.get("series", {})
+    if not isinstance(series, Mapping):
+        series = {}
+    parts.append(
+        f"<p class=\"note\">{epochs} epochs of "
+        f"{esc(_fmt(float(epoch_accesses)))} accesses each; every series "
+        "is normalized to its own peak, and the dashed rule marks the "
+        f"warmup-to-ROI boundary (epoch {roi_epoch}).</p>")
+    for names, title in _TIMELINE_PANELS:
+        panel = []
+        for name in names:
+            values = series.get(name)
+            if isinstance(values, Sequence) and len(values) >= 2:
+                panel.append((name, [float(v) for v in values]))
+        if not panel:
+            continue
+        chart = svg_timeline(panel, roi_epoch)
+        if not chart:
+            continue
+        legend = "".join(
+            f'<span class="swatch" style="background:{color}"></span>'
+            f'{esc(name)} (peak {esc(_fmt(max(values, default=0.0)))})'
+            for (name, values), color in zip(panel, _TIMELINE_COLORS))
+        parts.append(f"<h3>{esc(title)}</h3>"
+                     f"<p class=\"legend\">{legend}</p>" + chart)
+    return "".join(parts)
+
+
+def timeline_page(timeline: Mapping[str, object],
+                  title: str = "repro timeline") -> str:
+    """A standalone HTML page holding just the timeline panels.
+
+    ``repro timeline --format html`` writes one of these for a single
+    record, without requiring a full sweep for the dashboard.
+    """
+    body = timeline_panels(timeline) or ("<p class=\"note\">the record "
+                                         "carries no epoch series.</p>")
+    return ("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            "<meta charset=\"utf-8\">\n"
+            "<meta name=\"viewport\" "
+            "content=\"width=device-width, initial-scale=1\">\n"
+            f"<title>{esc(title)}</title>\n<style>{_CSS}</style>\n"
+            f"</head>\n<body>\n<h1>{esc(title)}</h1>\n{body}\n"
+            "</body>\n</html>\n")
+
+
 # ------------------------------------------------------------- comparisons
 
 
@@ -520,6 +650,10 @@ def render_dashboard(matrix: Mapping[str, Mapping[str, object]],
     if isinstance(profile, Mapping) and profile:
         body.append(profile_panel(profile))
 
+    timeline = _rget(focus_record, "timeline", {}) if focus_record else {}
+    if isinstance(timeline, Mapping) and timeline:
+        body.append(timeline_panels(timeline))
+
     for section_title, report in comparisons:
         body.append(comparison_section(report, section_title))
 
@@ -588,4 +722,7 @@ __all__ = [
     "svg_digest_bars",
     "svg_heatmap",
     "svg_pair_bars",
+    "svg_timeline",
+    "timeline_page",
+    "timeline_panels",
 ]

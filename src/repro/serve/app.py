@@ -201,6 +201,7 @@ class ServeApp:
             instructions=int(request["instructions"]),  # type: ignore[arg-type]
             seed=int(request["seed"]),  # type: ignore[arg-type]
             warmup=int(request["warmup"]),  # type: ignore[arg-type]
+            timeline=int(request.get("timeline", 0) or 0),  # type: ignore[arg-type]
         ))
 
         cells = {cell.key: cell for cell in job.cells}
@@ -365,6 +366,8 @@ class ServeApp:
             rest = path[len("/runs/"):]
             if rest.endswith("/trace"):
                 return self._job_trace(rest[: -len("/trace")])
+            if rest.endswith("/timeline"):
+                return self._job_timeline(rest[: -len("/timeline")])
             return self._job_status(rest)
         if path.startswith("/records/") and method == "GET":
             key = path[len("/records/"):]
@@ -489,6 +492,23 @@ class ServeApp:
             return 404, {"error": f"no such job {job_id!r}"}, {}
         return 200, {"traceEvents": chrome_span_events(spans)}, {}
 
+    def _job_timeline(self, job_id: str) -> Tuple[int, object,
+                                                  Dict[str, str]]:
+        """``GET /runs/<id>/timeline``: epoch series, finished or live.
+
+        Finished cells come from the cached run records; a running job
+        additionally tails the workers' live ``tl-*.jsonl`` epoch
+        streams from its heartbeat directory.
+        """
+        if not job_id.isalnum():
+            return 400, {"error": f"malformed job id {job_id!r}"}, {}
+        job = self.queue.load(job_id)
+        if job is None:
+            return 404, {"error": f"no such job {job_id!r}"}, {}
+        return 200, handlers.timeline_payload(
+            job, self.runs_dir,
+            heartbeat_dir=self.heartbeat_dir_for(job_id)), {}
+
     def _dashboard_html(self) -> str:
         records = handlers.load_all_records(self.runs_dir)
         return dashboard_from_records(
@@ -511,8 +531,11 @@ def _endpoint_label(path: str) -> str:
     if path in ("/healthz", "/runs", "/dashboard", "/metrics"):
         return path
     if path.startswith("/runs/"):
-        return ("/runs/:id/trace" if path.endswith("/trace")
-                else "/runs/:id")
+        if path.endswith("/trace"):
+            return "/runs/:id/trace"
+        if path.endswith("/timeline"):
+            return "/runs/:id/timeline"
+        return "/runs/:id"
     if path.startswith("/records/"):
         return "/records/:key"
     return "other"
@@ -626,8 +649,8 @@ def serve_forever(host: str = "127.0.0.1", port: int = 8765,
               + (f", recovered {len(app.recovered_jobs)} job(s)"
                  if app.recovered_jobs else "") + ")")
         print("endpoints: POST /runs, GET /runs/<id>, GET /runs/<id>/trace, "
-              "GET /records/<key>, GET /dashboard, GET /metrics, "
-              "GET /healthz")
+              "GET /runs/<id>/timeline, GET /records/<key>, "
+              "GET /dashboard, GET /metrics, GET /healthz")
         snapshot: Optional["asyncio.Task[None]"] = None
         if metrics_out:
             snapshot = asyncio.ensure_future(

@@ -26,6 +26,7 @@ MAX_NODES = 64
 #: typos must not silently become defaults)
 SUBMIT_FIELDS = frozenset((
     "workloads", "configs", "instructions", "seed", "warmup", "nodes",
+    "timeline",
 ))
 
 
@@ -65,6 +66,8 @@ def parse_submission(payload: object) -> Tuple[Dict[str, object],
     nodes = _int_field("nodes", 8, 1)
     if nodes > MAX_NODES:
         raise BadRequest(f"nodes must be <= {MAX_NODES}")
+    # epoch length for --timeline interval sampling (0 = off)
+    timeline = _int_field("timeline", 0, 0)
     instructions = _int_field("instructions", 0, 0) or instruction_budget()
     seed = _int_field("seed", 1, 0)
     warmup = payload.get("warmup")
@@ -117,6 +120,7 @@ def parse_submission(payload: object) -> Tuple[Dict[str, object],
         "seed": seed,
         "warmup": warmup,
         "nodes": nodes,
+        "timeline": timeline,
     }
     return request, configs
 
@@ -171,6 +175,48 @@ def tail_jsonl(path: Path, limit: int) -> List[dict]:
             out.append(record)
     out.reverse()
     return out
+
+
+def timeline_payload(job: Job, runs_dir: Path,
+                     heartbeat_dir: Optional[Path] = None,
+                     live_limit: int = 64) -> dict:
+    """The ``GET /runs/<id>/timeline`` response body.
+
+    Finished cells serve the epoch time-series straight out of their
+    cached run records; while the job is still simulating, the workers'
+    live ``tl-*.jsonl`` epoch streams (appended next to the heartbeats)
+    are tailed instead, so a poller watches phases develop in flight.
+    Cells simulated without ``--timeline`` simply carry no series.
+    """
+    cells: List[dict] = []
+    for cell in job.cells:
+        entry: Dict[str, object] = {
+            "workload": cell.workload, "config": cell.config,
+            "key": cell.key, "state": cell.state,
+        }
+        try:
+            record = json.loads((runs_dir / f"{cell.key}.json")
+                                .read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            record = None
+        if isinstance(record, dict):
+            timeline = record.get("timeline", {})
+            if isinstance(timeline, dict) and timeline:
+                entry["timeline"] = timeline
+        cells.append(entry)
+    live: List[dict] = []
+    if heartbeat_dir is not None:
+        try:
+            streams = sorted(Path(heartbeat_dir).glob("tl-*.jsonl"))
+        except OSError:
+            streams = []
+        for stream in streams:
+            epochs = tail_jsonl(stream, live_limit)
+            if epochs:
+                live.append({"stream": stream.stem, "epochs": epochs})
+    return {"job": job.id, "state": job.state,
+            "timeline_epoch": int(job.request.get("timeline", 0) or 0),  # type: ignore[arg-type, union-attr]
+            "cells": cells, "live": live}
 
 
 def record_response(runs_dir: Path, key: str,

@@ -1,6 +1,6 @@
 """Response-payload schemas of the serving API (documented contract).
 
-Every JSON body the daemon emits belongs to one of four kinds:
+Every JSON body the daemon emits belongs to one of five kinds:
 
 * ``health`` — ``GET /healthz``: ``ok``, ``version``, per-state job
   counts, queue depth, per-state drain-lane counts (idle / running /
@@ -12,6 +12,9 @@ Every JSON body the daemon emits belongs to one of four kinds:
 * ``record`` — ``GET /records/<key>``: a cached
   :class:`~repro.experiments.records.RunRecord` exactly as stored in
   ``.repro_cache/runs/<key>.json``;
+* ``timeline`` — ``GET /runs/<id>/timeline``: per-cell epoch
+  time-series (finished cells out of their cached records, running
+  cells as tailed live ``tl-*.jsonl`` epoch streams);
 * ``error`` — any non-2xx/304 response: ``{"error": "<message>"}``.
 
 :func:`validate_payload` is the machine-checkable form of the contract
@@ -26,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.experiments.records import SCALAR_METRICS
+from repro.obs.timeline import validate_timeline
 
 #: job lifecycle states, in order
 JOB_STATES = ("pending", "running", "done", "failed")
@@ -36,7 +40,7 @@ JOB_STATES = ("pending", "running", "done", "failed")
 CELL_STATES = ("pending", "cached", "simulated", "coalesced", "failed")
 
 #: payload kinds understood by :func:`validate_payload`
-KINDS = ("health", "job", "record", "error")
+KINDS = ("health", "job", "record", "timeline", "error")
 
 #: drain-lane states reported by health's ``lanes`` block and the
 #: ``repro_worker_lanes`` metric
@@ -150,6 +154,48 @@ def _validate_record(payload: Dict[str, object]) -> List[str]:
                             f"number")
     for name in ("events", "hists"):
         _require(payload, name, dict, problems, "record")
+    # optional on pre-v9 captures; the format-v9 field when present
+    timeline = payload.get("timeline")
+    if timeline is not None:
+        problems.extend(f"record: {problem}"
+                        for problem in validate_timeline(timeline))
+    return problems
+
+
+def _validate_timeline_payload(payload: Dict[str, object]) -> List[str]:
+    problems: List[str] = []
+    _require(payload, "job", str, problems, "timeline")
+    state = _require(payload, "state", str, problems, "timeline")
+    if isinstance(state, str) and state not in JOB_STATES:
+        problems.append(f"timeline: state {state!r} not in {JOB_STATES}")
+    _require(payload, "timeline_epoch", int, problems, "timeline")
+    cells = _require(payload, "cells", list, problems, "timeline")
+    if isinstance(cells, list):
+        for index, cell in enumerate(cells):
+            if not isinstance(cell, dict):
+                problems.append(f"timeline: cells[{index}] is not an object")
+                continue
+            for name in ("workload", "config", "key"):
+                if not isinstance(cell.get(name), str) or not cell.get(name):
+                    problems.append(f"timeline: cells[{index}].{name} "
+                                    f"missing or empty")
+            if cell.get("state") not in CELL_STATES:
+                problems.append(f"timeline: cells[{index}].state "
+                                f"{cell.get('state')!r} not in {CELL_STATES}")
+            if "timeline" in cell:
+                problems.extend(
+                    f"timeline: cells[{index}].timeline: {problem}"
+                    for problem in validate_timeline(cell["timeline"]))
+    live = _require(payload, "live", list, problems, "timeline")
+    if isinstance(live, list):
+        for index, stream in enumerate(live):
+            if (not isinstance(stream, dict)
+                    or not isinstance(stream.get("stream"), str)
+                    or not isinstance(stream.get("epochs"), list)
+                    or not all(isinstance(row, dict)
+                               for row in stream["epochs"])):
+                problems.append(f"timeline: live[{index}] must be "
+                                f"{{stream, epochs: [objects]}}")
     return problems
 
 
@@ -165,6 +211,7 @@ _VALIDATORS = {
     "health": _validate_health,
     "job": _validate_job,
     "record": _validate_record,
+    "timeline": _validate_timeline_payload,
     "error": _validate_error,
 }
 
@@ -185,6 +232,8 @@ def classify_payload(payload: object) -> Optional[str]:
         return None
     if "error" in payload and len(payload) == 1:
         return "error"
+    if "cells" in payload and "live" in payload:
+        return "timeline"
     if "cells" in payload and "request" in payload:
         return "job"
     if "ok" in payload and "jobs" in payload:

@@ -167,6 +167,14 @@ def run_batched(sim: Any, workload: Any, n_instructions: int, seed: int = 0,
         stats=hierarchy.stats,
         buckets={},
     )
+    timeline = getattr(sim, "timeline", None)
+    if timeline is not None:
+        # Epoch boundaries must coincide with chunk flushes (deferred
+        # fast-path aggregates fold in there), so the chunk size becomes
+        # the epoch length — the scalar loop then snapshots at exactly
+        # the same stream positions.
+        chunk = timeline.epoch
+        timeline.bind(hierarchy, result)
     if handles["kind"] == "d2m":
         _drive_d2m(sim, workload, machine, handles, result,
                    n_instructions, seed, warmup, fast_ok, chunk)
@@ -223,6 +231,10 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
     prof_slow_start = profiler.slow_start if profiler is not None else None
     prof_slow_done = profiler.slow_done if profiler is not None else None
     prof_chunk_done = profiler.chunk_done if profiler is not None else None
+    timeline = getattr(sim, "timeline", None)
+    tl_snapshot = timeline.snapshot if timeline is not None else None
+    tl_epoch = timeline.epoch if timeline is not None else 0
+    tl_pending = 0  # accesses since the last epoch boundary
     core_time = sim._core_time
     issue_interval = sim._issue_interval
     mshr_inserts = sim._mshr_inserts
@@ -318,6 +330,8 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
                     f_i = f_d = f_w = 0
                     recording = True
                     roi_pending = False
+                    if timeline is not None:
+                        timeline.mark_roi()
                 if kcode == 0:
                     now = core_times[core] + issue_interval
                     core_times[core] = now
@@ -548,7 +562,17 @@ def _drive_d2m(sim: Any, workload: Any, machine: Any, handles: Dict[str, Any],
             now_ns = _perf_ns()
             prof_chunk_done(now_ns - prof_t)
             prof_t = now_ns
+        # -- epoch boundary: chunks are epoch-sized when sampling (see
+        # run_batched), so every full chunk flush closes one epoch; the
+        # trailing partial chunk is flushed by finalize() below.
+        if tl_snapshot is not None:
+            tl_pending += n
+            if tl_pending >= tl_epoch:
+                tl_pending -= tl_epoch
+                tl_snapshot(instructions, accesses)
 
+    if timeline is not None:
+        timeline.finalize(instructions, accesses, partial=tl_pending > 0)
     result.instructions = instructions
     result.accesses = accesses
     sim._mshr_inserts = mshr_inserts
@@ -603,6 +627,10 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
     prof_slow_start = profiler.slow_start if profiler is not None else None
     prof_slow_done = profiler.slow_done if profiler is not None else None
     prof_chunk_done = profiler.chunk_done if profiler is not None else None
+    timeline = getattr(sim, "timeline", None)
+    tl_snapshot = timeline.snapshot if timeline is not None else None
+    tl_epoch = timeline.epoch if timeline is not None else 0
+    tl_pending = 0  # accesses since the last epoch boundary
     core_time = sim._core_time
     issue_interval = sim._issue_interval
     mshr_inserts = sim._mshr_inserts
@@ -691,6 +719,8 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
                         tlb_fast[c] = 0
                     recording = True
                     roi_pending = False
+                    if timeline is not None:
+                        timeline.mark_roi()
                 if kcode == 0:
                     now = core_times[core] + issue_interval
                     core_times[core] = now
@@ -900,7 +930,17 @@ def _drive_baseline(sim: Any, workload: Any, machine: Any,
             now_ns = _perf_ns()
             prof_chunk_done(now_ns - prof_t)
             prof_t = now_ns
+        # -- epoch boundary: chunks are epoch-sized when sampling (see
+        # run_batched), so every full chunk flush closes one epoch; the
+        # trailing partial chunk is flushed by finalize() below.
+        if tl_snapshot is not None:
+            tl_pending += n
+            if tl_pending >= tl_epoch:
+                tl_pending -= tl_epoch
+                tl_snapshot(instructions, accesses)
 
+    if timeline is not None:
+        timeline.finalize(instructions, accesses, partial=tl_pending > 0)
     result.instructions = instructions
     result.accesses = accesses
     sim._mshr_inserts = mshr_inserts

@@ -74,6 +74,7 @@ class RunSpec:
     batched: bool = False         # batched fast-path driver (repro.sim.batch)
     profile: bool = False         # slow-tail attribution (implies batched)
     trace: str = ""               # serve-layer correlation id ("" = none)
+    timeline: int = 0             # epoch length for interval sampling (0 = off)
 
 
 @dataclass
@@ -90,6 +91,7 @@ class RunOutcome:
     invariant_error: str = ""       # first violation message when not ok
     telemetry: Optional[object] = None  # obs.telemetry.Telemetry when collected
     profile: Optional[Dict[str, object]] = None  # slow-tail attribution digest
+    timeline: Optional[Dict[str, object]] = None  # epoch time-series summary
 
     def hist_summaries(self) -> Dict[str, Dict[str, float]]:
         """Histogram percentile digests ({} when telemetry was off)."""
@@ -100,6 +102,10 @@ class RunOutcome:
     def profile_summary(self) -> Dict[str, object]:
         """The attribution profile digest ({} when profiling was off)."""
         return dict(self.profile) if self.profile else {}
+
+    def timeline_summary(self) -> Dict[str, object]:
+        """The epoch time-series summary ({} when sampling was off)."""
+        return dict(self.timeline) if self.timeline else {}
 
     # -- Figure 5 ---------------------------------------------------------
 
@@ -185,7 +191,8 @@ def run_workload(config: SystemConfig, workload_name: str,
                  heartbeat: Optional[object] = None,
                  batched: Optional[bool] = None,
                  profile: bool = False,
-                 trace: str = "") -> RunOutcome:
+                 trace: str = "",
+                 timeline: int = 0) -> RunOutcome:
     """Simulate one workload on one system configuration.
 
     ``warmup=None`` derives the warm-up budget from ``REPRO_WARMUP`` (or
@@ -214,6 +221,13 @@ def run_workload(config: SystemConfig, workload_name: str,
     fast/slow split it measures only exists there.  ``trace`` is the
     serve-layer correlation id; it rides on this run's log events (and
     is otherwise inert).
+
+    ``timeline`` (an epoch length in accesses, 0 = off) attaches a
+    :class:`repro.obs.timeline.TimelineSampler` collecting per-epoch
+    stat deltas; the series lands on the outcome bit-identically in
+    either driver.  Under a sweep heartbeat the sampler also streams
+    each epoch to a ``tl-<pid>.jsonl`` next to the heartbeat file, which
+    ``repro serve`` tails for live timelines.
     """
     budget = instructions or instruction_budget()
     roi_warmup = warmup if warmup is not None else warmup_budget(budget)
@@ -249,6 +263,15 @@ def run_workload(config: SystemConfig, workload_name: str,
         profiler = AttributionProfiler()
         profiler.attached = attach_tracer(hierarchy, profiler)
         profiler.bind(hierarchy)
+    sampler = None
+    stream_writer = None
+    if timeline:
+        from repro.obs.timeline import TimelineSampler, TimelineStreamWriter
+        hb_path = getattr(heartbeat, "path", None)
+        if hb_path:
+            stream_writer = TimelineStreamWriter(os.path.join(
+                os.path.dirname(str(hb_path)), f"tl-{os.getpid()}.jsonl"))
+        sampler = TimelineSampler(epoch=timeline, on_epoch=stream_writer)
     workload = make_workload(workload_name, config.nodes, hierarchy.amap,
                              seed=seed)
     from repro.obs import runlog
@@ -259,11 +282,14 @@ def run_workload(config: SystemConfig, workload_name: str,
                 batched=do_batched, **log_extra)
     started = _time.monotonic()
     simulator = Simulator(hierarchy, check_values=check_values,
-                          telemetry=tele, profiler=profiler)
+                          telemetry=tele, profiler=profiler,
+                          timeline=sampler)
     result = simulator.run(workload, budget, seed=seed, warmup=roi_warmup,
                            batched=do_batched)
     if tele is not None:
         tele.finalize(hierarchy if do_telemetry else None)
+    if stream_writer is not None:
+        stream_writer.close()
     perf = PerfModel(config.ooo).summarize(result)
     elapsed = _time.monotonic() - started
     runlog.emit("run.end", workload=workload_name, config=config.name,
@@ -287,7 +313,7 @@ def run_workload(config: SystemConfig, workload_name: str,
                      roi_warmup, sanitize=do_sanitize, sanitize_every=every,
                      check_invariants=check_invariants,
                      telemetry=do_telemetry, batched=do_batched,
-                     profile=profile, trace=trace),
+                     profile=profile, trace=trace, timeline=timeline),
         result=result,
         perf=perf,
         hierarchy=hierarchy,
@@ -299,6 +325,7 @@ def run_workload(config: SystemConfig, workload_name: str,
         invariant_error=invariant_error,
         telemetry=tele if do_telemetry else None,
         profile=profiler.summary() if profiler is not None else None,
+        timeline=sampler.summary() if sampler is not None else None,
     )
 
 
@@ -321,7 +348,8 @@ def run_spec(spec: RunSpec) -> RunOutcome:
                         heartbeat=heartbeat,
                         batched=spec.batched or None,
                         profile=spec.profile,
-                        trace=spec.trace)
+                        trace=spec.trace,
+                        timeline=spec.timeline)
 
 
 def run_matrix(configs: Iterable[SystemConfig], workloads: Iterable[str],

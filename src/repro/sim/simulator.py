@@ -106,7 +106,8 @@ class Simulator:
 
     def __init__(self, hierarchy: Any, check_values: bool = True,
                  telemetry: Optional[Any] = None,
-                 profiler: Optional[Any] = None) -> None:
+                 profiler: Optional[Any] = None,
+                 timeline: Optional[Any] = None) -> None:
         self.hierarchy = hierarchy
         self.check_values = check_values
         #: optional repro.obs.telemetry.Telemetry sink; None = zero cost
@@ -114,6 +115,9 @@ class Simulator:
         #: optional repro.obs.profile.AttributionProfiler; consumed by the
         #: batched driver only (the scalar loop has no fast/slow split)
         self.profiler = profiler
+        #: optional repro.obs.timeline.TimelineSampler; both drivers
+        #: snapshot it at epoch boundaries (batched aligns its chunks)
+        self.timeline = timeline
         self.oracle = VersionOracle()
         self._core_time: Dict[int, float] = {}
         self._outstanding: Dict[Tuple[int, int], float] = {}
@@ -210,6 +214,13 @@ class Simulator:
         telemetry = self.telemetry
         tele_tick = telemetry.tick if telemetry is not None else None
         tele_access = telemetry.on_access if telemetry is not None else None
+        timeline = self.timeline
+        tl_snapshot = None
+        tl_every = tl_left = 0
+        if timeline is not None:
+            timeline.bind(self.hierarchy, result)
+            tl_snapshot = timeline.snapshot
+            tl_every = tl_left = timeline.epoch
         for acc in generate(warmup + n_instructions, seed):
             core = acc.core
             kind = acc.kind
@@ -230,6 +241,8 @@ class Simulator:
                 self.hierarchy.energy.reset()
                 recording = True
                 roi_pending = False
+                if timeline is not None:
+                    timeline.mark_roi()
             now = core_time.get(core, 0.0)
             if kind is ifetch:
                 now += issue_interval
@@ -275,6 +288,17 @@ class Simulator:
                 if level is not hit_l1 and level is not hit_late:
                     lat = instr_miss_latency if instr else data_miss_latency
                     lat[core] = lat.get(core, 0) + latency
+
+            # -- epoch boundary: the batched driver snapshots at the
+            # same stream positions via epoch-sized chunk flushes.
+            if tl_snapshot is not None:
+                tl_left -= 1
+                if tl_left == 0:
+                    tl_left = tl_every
+                    tl_snapshot(instructions, accesses)
+        if timeline is not None:
+            timeline.finalize(instructions, accesses,
+                              partial=tl_left != tl_every)
         result.instructions = instructions
         result.accesses = accesses
         self.hierarchy.finalize()

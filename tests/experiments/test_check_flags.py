@@ -56,6 +56,23 @@ class TestCheckedSweep:
         get_matrix(**plain_kwargs)
         assert len(calls) == 2
 
+    def test_series_less_record_misses_when_timeline_requested(
+            self, cache, monkeypatch):
+        calls = counting_run_spec(monkeypatch)
+        plain_kwargs = dict(workloads=["water"], configs=[d2m_fs(2)],
+                            instructions=1_500, seed=3, quiet=True, jobs=1)
+        get_matrix(**plain_kwargs)
+        assert len(calls) == 1
+        # The cached record carries no epoch series: re-simulated.
+        matrix = get_matrix(**plain_kwargs, timeline=256)
+        assert len(calls) == 2
+        record = matrix["water"]["D2M-FS"]
+        assert record.timeline and record.timeline["epochs"] > 0
+        # The upgraded record satisfies both timed and plain sweeps.
+        get_matrix(**plain_kwargs, timeline=256)
+        get_matrix(**plain_kwargs)
+        assert len(calls) == 2
+
     def test_sanitized_sweep_metrics_identical(self, cache, monkeypatch):
         kwargs = dict(workloads=["water"], configs=[d2m_fs(2)],
                       instructions=1_500, seed=3, quiet=True, jobs=1)

@@ -14,6 +14,7 @@ from repro.serve.handlers import (
     parse_submission,
     record_response,
     tail_jsonl,
+    timeline_payload,
 )
 from repro.serve.queue import make_job
 from repro.sim.runner import instruction_budget, warmup_budget
@@ -33,11 +34,12 @@ class TestParseSubmission:
     def test_explicit_fields_round_trip(self):
         request, configs = parse_submission({
             "workloads": ["water", "lu"], "configs": ["Base-2L", "D2M-FS"],
-            "instructions": 5_000, "seed": 7, "warmup": 250, "nodes": 4})
+            "instructions": 5_000, "seed": 7, "warmup": 250, "nodes": 4,
+            "timeline": 2048})
         assert request == {"workloads": ["water", "lu"],
                            "configs": ["Base-2L", "D2M-FS"],
                            "instructions": 5_000, "seed": 7,
-                           "warmup": 250, "nodes": 4}
+                           "warmup": 250, "nodes": 4, "timeline": 2048}
         assert [config.nodes for config in configs] == [4, 4]
 
     def test_config_names_case_insensitive_order_preserving(self):
@@ -116,6 +118,52 @@ class TestJobPayload:
         assert payload["progress"]["heartbeats"] == []  # dir absent: empty
         assert [r["event"] for r in payload["progress"]["recent"]] \
             == ["a", "b"]
+
+
+class TestTimelinePayload:
+    def job(self, timeline=4096):
+        request, configs = parse_submission({"workloads": ["water"],
+                                             "configs": ["Base-2L"],
+                                             "timeline": timeline})
+        return make_job(request, build_cells(request, configs))
+
+    def test_finished_cell_serves_the_cached_series(self, tmp_path):
+        from repro.obs.timeline import TIMELINE_SERIES
+        from repro.serve.schema import classify_payload, validate_payload
+        job = self.job()
+        key = job.cells[0].key
+        series = {name: [1, 2] for name in TIMELINE_SERIES}
+        (tmp_path / f"{key}.json").write_text(json.dumps({
+            "workload": "water", "timeline": {
+                "epochs": 2, "epoch_accesses": 4096, "roi_epoch": 1,
+                "series": series}}))
+        payload = timeline_payload(job, tmp_path)
+        assert payload["timeline_epoch"] == 4096
+        assert payload["cells"][0]["timeline"]["epochs"] == 2
+        assert payload["live"] == []
+        assert classify_payload(payload) == "timeline"
+        assert validate_payload("timeline", payload) == []
+
+    def test_untimed_cell_carries_no_series(self, tmp_path):
+        job = self.job(timeline=0)
+        key = job.cells[0].key
+        (tmp_path / f"{key}.json").write_text(json.dumps(
+            {"workload": "water", "timeline": {}}))
+        payload = timeline_payload(job, tmp_path)
+        assert payload["timeline_epoch"] == 0
+        assert "timeline" not in payload["cells"][0]
+
+    def test_live_streams_are_tailed_from_heartbeat_dir(self, tmp_path):
+        hb = tmp_path / "hb"
+        hb.mkdir()
+        (hb / "tl-99.jsonl").write_text(
+            '{"epoch": 0, "instructions": 10}\n'
+            '{"epoch": 1, "instructions": 20}\n')
+        payload = timeline_payload(self.job(), tmp_path, heartbeat_dir=hb,
+                                   live_limit=1)
+        assert payload["live"] == [{"stream": "tl-99",
+                                    "epochs": [{"epoch": 1,
+                                                "instructions": 20}]}]
 
 
 class TestTailJsonl:

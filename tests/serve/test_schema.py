@@ -40,11 +40,25 @@ def record_payload(**overrides):
     return payload
 
 
+def timeline_payload_doc(**overrides):
+    payload = {
+        "job": "abc123", "state": "running", "timeline_epoch": 4096,
+        "cells": [{"workload": "water", "config": "Base-2L",
+                   "key": "k" * 24, "state": "simulated",
+                   "timeline": {"epochs": 0}}],
+        "live": [{"stream": "tl-42", "epochs": [{"epoch": 0,
+                                                 "instructions": 10}]}],
+    }
+    payload.update(overrides)
+    return payload
+
+
 class TestValidators:
     def test_valid_payloads_pass(self):
         assert validate_payload("health", health_payload()) == []
         assert validate_payload("job", job_payload()) == []
         assert validate_payload("record", record_payload()) == []
+        assert validate_payload("timeline", timeline_payload_doc()) == []
         assert validate_payload("error", {"error": "boom"}) == []
 
     def test_unknown_kind_and_non_object(self):
@@ -105,12 +119,32 @@ class TestValidators:
     def test_error_message_must_be_nonempty(self):
         assert validate_payload("error", {"error": ""})
 
+    def test_timeline_nested_series_are_schema_checked(self):
+        broken = timeline_payload_doc()
+        broken["cells"][0]["timeline"] = {"epochs": "3"}
+        assert any("not an int" in p
+                   for p in validate_payload("timeline", broken))
+
+    def test_timeline_live_streams_must_be_shaped(self):
+        broken = timeline_payload_doc(live=[{"stream": "tl-1",
+                                             "epochs": "not-a-list"}])
+        assert any("live[0]" in p
+                   for p in validate_payload("timeline", broken))
+
+    def test_record_timeline_field_is_validated(self):
+        broken = record_payload(timeline={"epochs": -2})
+        assert any("negative" in p
+                   for p in validate_payload("record", broken))
+        # pre-v9 records carry no timeline at all: still valid
+        assert validate_payload("record", record_payload()) == []
+
 
 class TestClassify:
     def test_shapes(self):
         assert classify_payload(health_payload()) == "health"
         assert classify_payload(job_payload()) == "job"
         assert classify_payload(record_payload()) == "record"
+        assert classify_payload(timeline_payload_doc()) == "timeline"
         assert classify_payload({"error": "boom"}) == "error"
 
     def test_unrecognizable(self):

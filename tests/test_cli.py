@@ -346,3 +346,72 @@ class TestRunCheckingFlags:
         out = capsys.readouterr().out
         assert "sanitizer" not in out
         assert "final invariants" not in out
+
+
+class TestTimeline:
+    def test_run_with_timeline_prints_sparklines(self, capsys):
+        assert main(["run", "--config", "d2m-fs", "--workload", "water",
+                     "--instructions", "1500", "--timeline",
+                     "--epoch", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out and "epochs x 128 accesses" in out
+
+    def test_timeline_from_the_run_cache(self, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--workloads", "water",
+                     "--instructions", "1200", "--jobs", "1",
+                     "--timeline", "--epoch", "128"]) == 0
+        capsys.readouterr()
+        assert main(["timeline", "--workload", "water",
+                     "--config", "D2M-FS", "--instructions", "1200"]) == 0
+        assert "epochs x 128 accesses" in capsys.readouterr().out
+
+    def test_timeline_json_and_rebucket(self, tmp_path, capsys):
+        timeline = {"epochs": 4, "epoch_accesses": 64, "roi_epoch": 2,
+                    "series": {"instructions": [1, 2, 3, 4],
+                               "accesses": [64, 64, 64, 64]}}
+        path = tmp_path / "tl.json"
+        path.write_text(json.dumps(timeline))
+        assert main(["timeline", str(path), "--format", "json",
+                     "--epoch", "128"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["epochs"] == 2
+        assert payload["series"]["instructions"] == [3, 7]
+
+    def test_timeline_html_page(self, tmp_path, capsys):
+        record = {"workload": "water", "timeline": {
+            "epochs": 3, "epoch_accesses": 64, "roi_epoch": 1,
+            "series": {"instructions": [1, 2, 3],
+                       "accesses": [64, 64, 64]}}}
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps(record))
+        out = tmp_path / "tl.html"
+        assert main(["timeline", str(path), "--format", "html",
+                     "--out", str(out)]) == 0
+        assert "Phase timeline" in out.read_text()
+
+    def test_uncached_cell_is_a_clean_error(self, tmp_path, monkeypatch,
+                                            capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["timeline", "--workload", "water",
+                     "--config", "D2M-FS", "--instructions", "1200"]) == 2
+        assert "repro sweep" in capsys.readouterr().err
+
+    def test_malformed_timeline_fails_the_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"epochs": 3, "series": {}}))
+        assert main(["timeline", str(path)]) == 2
+        assert capsys.readouterr().err
+
+
+class TestBenchHistory:
+    def test_history_table_from_reports(self, tmp_path, monkeypatch,
+                                        capsys):
+        monkeypatch.chdir(tmp_path)
+        report = {"schema": 1, "date": "2026-08-01", "mode": "quick",
+                  "matrix": {}, "env": {}, "cells": [],
+                  "geomean_ips": 123.0}
+        (tmp_path / "BENCH_2026-08-01.json").write_text(json.dumps(report))
+        assert main(["bench", "--history"]) == 0
+        assert "BENCH_2026-08-01.json" in capsys.readouterr().out

@@ -27,9 +27,14 @@ Usage::
     python -m tools.lint_repro [paths...]   # default: src/repro
     python -m tools.lint_repro --trace-schema trace.jsonl [...]
     python -m tools.lint_repro --digest-schema .repro_cache/runs [...]
+    python -m tools.lint_repro --timeline-schema .repro_cache/runs [...]
     python -m tools.lint_repro --serve-schema payloads/ [...]
     python -m tools.lint_repro --metrics-schema [metrics.txt ...]
     python -m tools.lint_repro --protocol
+
+The default (path-lint) mode additionally fails when git tracks
+compiled-bytecode noise (``*.pyc`` / ``__pycache__``) — ``.gitignore``
+keeps new litter out, this catches litter that was force-added.
 
 ``--trace-schema`` switches to validating JSONL trace exports (from
 ``repro trace --format jsonl``) against the schema in
@@ -39,7 +44,15 @@ Usage::
 of cached run records — files or directories of ``*.json`` — against
 :func:`repro.obs.histogram.validate_digest`: an empty digest is exactly
 ``{"count": 0.0}``; a non-empty one carries count/mean/max/p50/p90/p99
-with monotonic percentiles and nothing else.
+with monotonic percentiles and nothing else.  The records' ``profile``
+and ``timeline`` payloads are validated alongside.
+
+``--timeline-schema`` validates epoch time-series documents — cached
+run records (their ``timeline`` field) or bare timeline JSON files —
+against :func:`repro.obs.timeline.validate_timeline`: absent/empty
+means sampling was off, ``{"epochs": 0}`` is the sampled-but-empty
+contract, anything else must carry aligned integer series columns under
+known names.
 
 ``--serve-schema`` validates captured ``repro serve`` response payloads
 (health / job / record / error, sniffed by shape) against
@@ -259,6 +272,7 @@ def check_digest_schema(paths: List[Path]) -> List[str]:
         sys.path.insert(0, src)
     from repro.obs.histogram import validate_digest
     from repro.obs.profile import validate_profile
+    from repro.obs.timeline import validate_timeline
 
     files: List[Path] = []
     for path in paths:
@@ -293,9 +307,77 @@ def check_digest_schema(paths: List[Path]) -> List[str]:
         # an absent key is as valid as the empty (unprofiled) digest
         for issue in validate_profile(payload.get("profile", {})):
             problems.append(f"{path}: profile: {issue}")
+        # likewise 'timeline' arrived with RUN_FORMAT 9
+        for issue in validate_timeline(payload.get("timeline", {})):
+            problems.append(f"{path}: timeline: {issue}")
     if not files:
         problems.append("--digest-schema matched no record files")
     return problems
+
+
+def check_timeline_schema(paths: List[Path]) -> List[str]:
+    """Validate epoch time-series payloads; returns violations.
+
+    Each path is a ``*.json`` file or a directory of them; a file that
+    looks like a run record (has ``workload``) contributes its
+    ``timeline`` field, anything else is treated as a bare timeline
+    document.
+    """
+    import json
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.timeline import validate_timeline
+
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    problems: List[str] = []
+    for path in files:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        except ValueError as exc:
+            problems.append(f"{path}: not JSON: {exc}")
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"{path}: not a JSON object")
+            continue
+        timeline = (payload.get("timeline", {})
+                    if "workload" in payload else payload)
+        problems.extend(f"{path}: timeline: {issue}"
+                        for issue in validate_timeline(timeline))
+    if not files:
+        problems.append("--timeline-schema matched no files")
+    return problems
+
+
+def check_tracked_bytecode() -> List[str]:
+    """Fail when git tracks compiled-bytecode noise; returns violations.
+
+    ``.gitignore`` keeps new ``__pycache__``/``*.pyc`` litter out of
+    ``git add``; this catches files that were force-added (or predate
+    the ignore rule).  Outside a git checkout — or without git — the
+    check is vacuous.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(["git", "-C", str(REPO_ROOT), "ls-files"],
+                              capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return []
+    if proc.returncode != 0:
+        return []
+    return [f"tracked bytecode: {name} (git rm --cached it)"
+            for name in proc.stdout.splitlines()
+            if name.endswith(".pyc") or "__pycache__" in name.split("/")]
 
 
 def check_serve_schema(paths: List[Path]) -> List[str]:
@@ -417,6 +499,22 @@ def main(argv: List[str]) -> int:
         print(f"lint_repro: digest schemas valid in "
               f"{len(record_paths)} path(s)")
         return 0
+    if argv and argv[0] == "--timeline-schema":
+        timeline_paths = [Path(arg) for arg in argv[1:]]
+        if not timeline_paths:
+            print("lint_repro: --timeline-schema needs at least one record "
+                  "file, timeline JSON, or directory "
+                  "(e.g. .repro_cache/runs)", file=sys.stderr)
+            return 2
+        problems = check_timeline_schema(timeline_paths)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"lint_repro: timeline schemas valid in "
+              f"{len(timeline_paths)} path(s)")
+        return 0
     if argv and argv[0] == "--serve-schema":
         payload_paths = [Path(arg) for arg in argv[1:]]
         if not payload_paths:
@@ -464,7 +562,7 @@ def main(argv: List[str]) -> int:
         for path in missing:
             print(f"lint_repro: no such path: {path}", file=sys.stderr)
         return 2
-    problems = lint_paths(paths)
+    problems = lint_paths(paths) + check_tracked_bytecode()
     for problem in problems:
         print(problem)
     if problems:
